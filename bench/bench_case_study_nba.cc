@@ -1,0 +1,53 @@
+// Reproduces Table 4 (+ Figure 14): the NBA case study — query results and
+// the top-3 deduplicated explanations with F-scores for the five user
+// questions.
+//
+// Expected shape (paper): roster-change and salary patterns dominate Qnba1,
+// Qnba3 and Qnba4 (Jack/Iguodala moves, salary thresholds); assistpoints
+// correlates drive Qnba2; usage/minutes growth drives Qnba5.
+
+#include "bench/bench_util.h"
+
+using namespace cajade;
+using namespace cajade::bench;
+
+int main() {
+  NbaOptions opt;
+  opt.scale_factor = EnvScale(0.1);
+  Database db = MakeNbaDatabase(opt).ValueOrDie();
+  SchemaGraph sg = MakeNbaSchemaGraph(db).ValueOrDie();
+
+  static const char* kDescriptions[5] = {
+      "Draymond Green's average points per season: 2015-16 (t1) vs 2016-17 (t2)",
+      "GSW average assists per season: 2013-14 (t1) vs 2014-15 (t2)",
+      "LeBron James's average points: 2009-10 (t1) vs 2010-11 (t2)",
+      "GSW wins per season: 2012-13 (t1) vs 2016-17 (t2)",
+      "Jimmy Butler's average points: 2013-14 (t1) vs 2014-15 (t2)"};
+
+  for (int q = 1; q <= 5; ++q) {
+    Explainer explainer(&db, &sg);
+    explainer.mutable_config()->max_join_graph_edges = EnvEdges(2);
+    auto result = explainer.Explain(NbaQuerySql(q), NbaQuestion(q));
+    std::printf("== Qnba%d: %s ==\n", q, kDescriptions[q - 1]);
+    if (!result.ok()) {
+      std::printf("error: %s\n\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", result->query_result.ToString(12).c_str());
+    auto top = DeduplicateExplanations(result->explanations);
+    size_t n = std::min<size_t>(top.size(), 3);
+    for (size_t i = 0; i < n; ++i) {
+      const Explanation& e = top[i];
+      std::printf("%zu. F=%.2f  %s  [%s]\n   supports %lld/%lld vs %lld/%lld, "
+                  "join graph: %s\n",
+                  i + 1, e.fscore, e.pattern.c_str(),
+                  e.primary == 0 ? "t1" : "t2",
+                  static_cast<long long>(e.support_primary),
+                  static_cast<long long>(e.total_primary),
+                  static_cast<long long>(e.support_other),
+                  static_cast<long long>(e.total_other), e.join_graph.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figure 8: total runtime against the maximum join-graph size
+// lambda_#edges in {1, 2, 3}, for F-score sample rates lambda_F1-samp in
+// {0.1, 0.3, 0.5, 1.0}, on NBA Q1 (GSW wins) with the paper's user question.
+//
+// Expected shape: runtime grows sharply in lambda_#edges (the join-graph
+// count explodes); sampling saves up to ~50% at the larger sizes.
+
+#include "bench/bench_util.h"
+
+using namespace cajade;
+using namespace cajade::bench;
+
+int main() {
+  NbaOptions opt;
+  opt.scale_factor = EnvScale(0.04);
+  Database db = MakeNbaDatabase(opt).ValueOrDie();
+  SchemaGraph sg = MakeNbaSchemaGraph(db).ValueOrDie();
+  std::string sql = NbaQuerySql(4);
+  UserQuestion question = NbaQuestion(4);
+
+  std::vector<double> rates = FullRuns()
+                                  ? std::vector<double>{0.1, 0.3, 0.5, 1.0}
+                                  : std::vector<double>{0.1, 0.3, 1.0};
+  int max_size = FullRuns() ? 3 : EnvEdges(3);
+
+  std::printf("== Runtime vs lambda_#edges and lambda_F1-samp (NBA Q1) ==\n");
+  std::printf("%-10s %-10s %10s %12s %12s\n", "#edges", "F1-samp", "runtime",
+              "join graphs", "mined");
+  for (int edges = 1; edges <= max_size; ++edges) {
+    for (double rate : rates) {
+      Explainer explainer(&db, &sg);
+      explainer.mutable_config()->max_join_graph_edges = edges;
+      explainer.mutable_config()->f1_sample_rate = rate;
+      Timer timer;
+      auto result = explainer.Explain(sql, question);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-10d %-10.1f %9.2fs %12d %12zu\n", edges, rate,
+                  timer.ElapsedSeconds(), result->enumeration.unique,
+                  result->apts_mined);
+    }
+  }
+  return 0;
+}

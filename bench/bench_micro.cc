@@ -1,0 +1,178 @@
+// Google-benchmark micro-benchmarks for the engine substrates: hash joins,
+// pattern matching, LCA candidate generation, random-forest training, and
+// APT materialization. Not a paper figure; guards against performance
+// regressions in the hot paths the experiments depend on.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "src/common/rng.h"
+#include "src/datasets/example_nba.h"
+#include "src/exec/join.h"
+#include "src/mining/apt.h"
+#include "src/mining/lca.h"
+#include "src/mining/miner.h"
+#include "src/ml/random_forest.h"
+#include "src/provenance/provenance.h"
+#include "src/sql/parser.h"
+
+namespace cajade {
+namespace {
+
+Table MakeIntTable(const char* name, size_t rows, int64_t key_mod, Rng* rng) {
+  Table t(name, Schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}}));
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    (void)t.AppendRow({Value(static_cast<int64_t>(rng->NextBounded(key_mod))),
+                       Value(rng->UniformDouble())});
+  }
+  return t;
+}
+
+void BM_HashEquiJoin(benchmark::State& state) {
+  Rng rng(1);
+  size_t n = static_cast<size_t>(state.range(0));
+  Table left = MakeIntTable("l", n, n / 4, &rng);
+  Table right = MakeIntTable("r", n, n / 4, &rng);
+  std::vector<int64_t> lrows(n), rrows(n);
+  std::iota(lrows.begin(), lrows.end(), 0);
+  std::iota(rrows.begin(), rrows.end(), 0);
+  JoinKeySpec keys{{0}, {0}};
+  for (auto _ : state) {
+    auto pairs = HashEquiJoin(left, lrows, right, rrows, keys);
+    benchmark::DoNotOptimize(pairs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashEquiJoin)->Arg(1000)->Arg(10000);
+
+struct ExampleFixture {
+  Database db;
+  SchemaGraph sg;
+  ProvenanceTable pt;
+  Apt apt;
+  PtClasses classes;
+
+  static ExampleFixture& Get() {
+    static ExampleFixture* f = [] {
+      auto* fx = new ExampleFixture();
+      fx->db = MakeExampleNbaDatabase().ValueOrDie();
+      fx->sg = MakeExampleNbaSchemaGraph(fx->db).ValueOrDie();
+      auto query = ParseQuery(
+                       "SELECT winner AS team, season, count(*) AS win "
+                       "FROM game g WHERE winner = 'GSW' "
+                       "GROUP BY winner, season")
+                       .ValueOrDie();
+      fx->pt = ComputeProvenance(fx->db, query).ValueOrDie();
+      std::vector<int64_t> rows;
+      for (auto r : fx->pt.output_to_pt_rows[0]) rows.push_back(r);
+      size_t n0 = rows.size();
+      for (auto r : fx->pt.output_to_pt_rows[1]) rows.push_back(r);
+      std::sort(rows.begin(), rows.end());
+      // Rebuild classes against the sorted order.
+      std::set<int64_t> first(fx->pt.output_to_pt_rows[0].begin(),
+                              fx->pt.output_to_pt_rows[0].end());
+      (void)n0;
+      for (auto r : rows) fx->classes.push_back(first.count(r) > 0 ? 0 : 1);
+      // One-hop join graph to player_game_scoring.
+      JoinGraph g = JoinGraph::PtOnly();
+      int edge = -1, cond = -1;
+      for (size_t i = 0; i < fx->sg.edges().size(); ++i) {
+        const auto& e = fx->sg.edges()[i];
+        if (e.rel_a == "player_game_scoring" && e.rel_b == "game") {
+          edge = static_cast<int>(i);
+          for (size_t c = 0; c < e.conditions.size(); ++c) {
+            if (e.conditions[c].pairs.size() == 4) cond = static_cast<int>(c);
+          }
+        }
+      }
+      int node = g.AddNode("player_game_scoring");
+      g.AddEdge({0, node, edge, cond, false, "game"});
+      fx->apt =
+          MaterializeApt(fx->pt, rows, g, fx->sg, fx->db).ValueOrDie();
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_PatternMatch(benchmark::State& state) {
+  auto& fx = ExampleFixture::Get();
+  int player_col =
+      fx.apt.table.schema().FindColumn("player_game_scoring.player");
+  int pts_col = fx.apt.table.schema().FindColumn("player_game_scoring.pts");
+  Pattern p;
+  p.preds.push_back(PatternPredicate::Make(fx.apt.table, player_col,
+                                           PredOp::kEq, Value("S. Curry")));
+  p.preds.push_back(
+      PatternPredicate::Make(fx.apt.table, pts_col, PredOp::kGe,
+                             Value(int64_t{23})));
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (size_t r = 0; r < fx.apt.num_rows(); ++r) {
+      matches += p.Matches(fx.apt.table, r) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.apt.num_rows());
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_LcaCandidates(benchmark::State& state) {
+  auto& fx = ExampleFixture::Get();
+  std::vector<int> cat_cols;
+  for (int c : fx.apt.pattern_cols) {
+    if (fx.apt.table.column(c).type() == DataType::kString) cat_cols.push_back(c);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    auto candidates = GenerateLcaCandidates(
+        fx.apt, cat_cols, static_cast<size_t>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+}
+BENCHMARK(BM_LcaCandidates)->Arg(64)->Arg(256);
+
+void BM_MineApt(benchmark::State& state) {
+  auto& fx = ExampleFixture::Get();
+  CajadeConfig config;
+  PatternMiner miner(&config, nullptr);
+  Rng rng(4);
+  for (auto _ : state) {
+    Rng local = rng.Fork();
+    auto result = miner.Mine(fx.apt, fx.classes, &local);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MineApt);
+
+void BM_ForestTrain(benchmark::State& state) {
+  Rng rng(5);
+  FeatureMatrix data;
+  data.names = {"a", "b", "c", "d"};
+  data.is_categorical = {false, false, false, true};
+  data.columns.resize(4);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.UniformDouble();
+    data.columns[0].push_back(a);
+    data.columns[1].push_back(rng.UniformDouble());
+    data.columns[2].push_back(rng.Normal(0, 1));
+    data.columns[3].push_back(static_cast<double>(rng.NextBounded(6)));
+    data.labels.push_back(a > 0.5 ? 1 : 0);
+  }
+  ForestOptions options;
+  options.num_trees = 10;
+  for (auto _ : state) {
+    Rng local = rng.Fork();
+    RandomForest forest;
+    forest.Train(data, options, &local);
+    benchmark::DoNotOptimize(forest.importances().data());
+  }
+}
+BENCHMARK(BM_ForestTrain);
+
+}  // namespace
+}  // namespace cajade
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Shared helpers for the experiment drivers in bench/: dataset + question
+// setup for the paper's workloads, environment-variable knobs, and table
+// printing.
+//
+// Every bench binary prints the rows/series of one paper table or figure.
+// Defaults are sized to finish in seconds on a laptop; set CAJADE_FULL=1
+// for sweeps closer to the paper's full parameter ranges, CAJADE_SCALE to
+// override the dataset scale factor, and CAJADE_EDGES to override
+// lambda_#edges.
+
+#ifndef CAJADE_BENCH_BENCH_UTIL_H_
+#define CAJADE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/explainer.h"
+#include "src/datasets/mimic.h"
+#include "src/datasets/nba.h"
+
+namespace cajade {
+namespace bench {
+
+inline bool FullRuns() {
+  const char* v = std::getenv("CAJADE_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline double EnvScale(double fallback) {
+  const char* v = std::getenv("CAJADE_SCALE");
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int EnvEdges(int fallback) {
+  const char* v = std::getenv("CAJADE_EDGES");
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// The paper's user questions (Tables 4 and 6), 1-indexed per workload.
+inline UserQuestion NbaQuestion(int index) {
+  switch (index) {
+    case 1:  // Draymond Green: 2015-16 vs 2016-17
+      return UserQuestion::TwoPoint(Where({{"season_name", Value("2015-16")}}),
+                                    Where({{"season_name", Value("2016-17")}}));
+    case 2:  // GSW assists: 2013-14 vs 2014-15
+      return UserQuestion::TwoPoint(Where({{"season_name", Value("2013-14")}}),
+                                    Where({{"season_name", Value("2014-15")}}));
+    case 3:  // LeBron: 2009-10 vs 2010-11
+      return UserQuestion::TwoPoint(Where({{"season_name", Value("2009-10")}}),
+                                    Where({{"season_name", Value("2010-11")}}));
+    case 4:  // GSW wins: 2012-13 vs 2016-17
+      return UserQuestion::TwoPoint(Where({{"season_name", Value("2012-13")}}),
+                                    Where({{"season_name", Value("2016-17")}}));
+    case 5:  // Jimmy Butler: 2013-14 vs 2014-15
+    default:
+      return UserQuestion::TwoPoint(Where({{"season_name", Value("2013-14")}}),
+                                    Where({{"season_name", Value("2014-15")}}));
+  }
+}
+
+inline UserQuestion MimicQuestion(int index) {
+  switch (index) {
+    case 1:  // death rate: chapter 2 vs chapter 13
+      return UserQuestion::TwoPoint(Where({{"chapter", Value("2")}}),
+                                    Where({{"chapter", Value("13")}}));
+    case 2:  // death rate: Medicare vs Medicaid
+      return UserQuestion::TwoPoint(Where({{"insurance", Value("Medicare")}}),
+                                    Where({{"insurance", Value("Medicaid")}}));
+    case 3:  // ICU stays: 0-1 day vs > 8 days
+      return UserQuestion::TwoPoint(Where({{"los_group", Value("0-1")}}),
+                                    Where({{"los_group", Value("x>8")}}));
+    case 4:  // death rate: Medicare vs Private
+      return UserQuestion::TwoPoint(Where({{"insurance", Value("Medicare")}}),
+                                    Where({{"insurance", Value("Private")}}));
+    case 5:  // procedures: Hispanic vs Asian
+    default:
+      return UserQuestion::TwoPoint(Where({{"ethnicity", Value("Hispanic")}}),
+                                    Where({{"ethnicity", Value("Asian")}}));
+  }
+}
+
+/// Builds a path-shaped join graph PT - rels[0] - rels[1] - ... using the
+/// first schema-graph condition between consecutive relations.
+/// `pt_relation` names the query relation the first edge binds to.
+inline Result<JoinGraph> BuildPathJoinGraph(const SchemaGraph& sg,
+                                            const std::string& pt_relation,
+                                            const std::vector<std::string>& rels) {
+  JoinGraph g = JoinGraph::PtOnly();
+  int prev_node = 0;
+  std::string prev_rel = pt_relation;
+  for (const auto& rel : rels) {
+    int found_edge = -1;
+    bool prev_is_left = false;
+    for (size_t i = 0; i < sg.edges().size(); ++i) {
+      const SchemaEdge& e = sg.edges()[i];
+      if (e.rel_a == prev_rel && e.rel_b == rel) {
+        found_edge = static_cast<int>(i);
+        prev_is_left = true;
+        break;
+      }
+      if (e.rel_b == prev_rel && e.rel_a == rel) {
+        found_edge = static_cast<int>(i);
+        prev_is_left = false;
+        break;
+      }
+    }
+    if (found_edge < 0) {
+      return Status::NotFound("no schema edge between " + prev_rel + " and " + rel);
+    }
+    int node = g.AddNode(rel);
+    JoinGraphEdge edge;
+    edge.node_a = prev_node;
+    edge.node_b = node;
+    edge.schema_edge = found_edge;
+    edge.condition = 0;
+    edge.a_plays_left = prev_is_left;
+    if (prev_node == 0) edge.pt_relation = pt_relation;
+    g.AddEdge(edge);
+    prev_node = node;
+    prev_rel = rel;
+  }
+  return g;
+}
+
+/// Prints the paper's runtime-breakdown rows from a profiler.
+inline void PrintBreakdown(const StepProfiler& profile) {
+  static const char* kRows[] = {"Feature Selection", "Gen. Pat. Cand.",
+                                "F-score Calc.",     "Materialize APTs",
+                                "Refine Patterns",   "Sampling for F1",
+                                "JG Enum.",          "Compute Provenance"};
+  double total = 0;
+  for (const char* row : kRows) {
+    double s = profile.Get(row);
+    total += s;
+    std::printf("  %-20s %8.2fs\n", row, s);
+  }
+  std::printf("  %-20s %8.2fs\n", "total", total);
+}
+
+/// One row of a breakdown matrix (several configurations side by side).
+inline void PrintBreakdownMatrix(const std::vector<std::string>& headers,
+                                 const std::vector<StepProfiler>& profiles) {
+  static const char* kRows[] = {"Feature Selection", "Gen. Pat. Cand.",
+                                "F-score Calc.",     "Materialize APTs",
+                                "Refine Patterns",   "Sampling for F1",
+                                "JG Enum."};
+  std::printf("%-20s", "Step");
+  for (const auto& h : headers) std::printf(" %12s", h.c_str());
+  std::printf("\n");
+  for (const char* row : kRows) {
+    std::printf("%-20s", row);
+    for (const auto& p : profiles) std::printf(" %12.2f", p.Get(row));
+    std::printf("\n");
+  }
+  std::printf("%-20s", "total");
+  for (const auto& p : profiles) std::printf(" %12.2f", p.Total());
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace cajade
+
+#endif  // CAJADE_BENCH_BENCH_UTIL_H_

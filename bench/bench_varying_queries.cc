@@ -1,0 +1,63 @@
+// Reproduces Figure 12 + Table 2: runtime of the full pipeline for the ten
+// workload queries (5 NBA, 5 MIMIC) with their user questions, reporting
+// the number of join graphs per query (the quantity the paper overlays on
+// the runtime bars).
+//
+// Expected shape: runtimes are relatively stable across queries and
+// correlate with the number of join graphs enumerated.
+
+#include "bench/bench_util.h"
+
+using namespace cajade;
+using namespace cajade::bench;
+
+int main() {
+  int max_edges = EnvEdges(2);
+  double f1 = 0.3;
+
+  std::printf("== Varying queries (lambda_F1-samp=%.1f, lambda_#edges=%d) ==\n",
+              f1, max_edges);
+  std::printf("%-10s %10s %12s %10s %10s %8s\n", "query", "runtime",
+              "join graphs", "mined", "skipped", "#expl");
+
+  NbaOptions nba_opt;
+  nba_opt.scale_factor = EnvScale(0.05);
+  Database nba = MakeNbaDatabase(nba_opt).ValueOrDie();
+  SchemaGraph nba_sg = MakeNbaSchemaGraph(nba).ValueOrDie();
+  for (int q = 1; q <= 5; ++q) {
+    Explainer explainer(&nba, &nba_sg);
+    explainer.mutable_config()->max_join_graph_edges = max_edges;
+    explainer.mutable_config()->f1_sample_rate = f1;
+    Timer timer;
+    auto result = explainer.Explain(NbaQuerySql(q), NbaQuestion(q));
+    if (!result.ok()) {
+      std::printf("Qnba%-6d error: %s\n", q, result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("Qnba%-6d %9.2fs %12d %10zu %10zu %8zu\n", q,
+                timer.ElapsedSeconds(), result->enumeration.unique,
+                result->apts_mined, result->apts_skipped_oversize,
+                result->explanations.size());
+  }
+
+  MimicOptions mimic_opt;
+  mimic_opt.scale_factor = EnvScale(0.1);
+  Database mimic = MakeMimicDatabase(mimic_opt).ValueOrDie();
+  SchemaGraph mimic_sg = MakeMimicSchemaGraph(mimic).ValueOrDie();
+  for (int q = 1; q <= 5; ++q) {
+    Explainer explainer(&mimic, &mimic_sg);
+    explainer.mutable_config()->max_join_graph_edges = max_edges;
+    explainer.mutable_config()->f1_sample_rate = f1;
+    Timer timer;
+    auto result = explainer.Explain(MimicQuerySql(q), MimicQuestion(q));
+    if (!result.ok()) {
+      std::printf("Qmimic%-4d error: %s\n", q, result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("Qmimic%-4d %9.2fs %12d %10zu %10zu %8zu\n", q,
+                timer.ElapsedSeconds(), result->enumeration.unique,
+                result->apts_mined, result->apts_skipped_oversize,
+                result->explanations.size());
+  }
+  return 0;
+}

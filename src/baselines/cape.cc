@@ -1,0 +1,76 @@
+#include "src/baselines/cape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+Result<std::vector<CapeExplanation>> Cape::Explain(
+    const Table& result, const std::string& value_column,
+    const TupleSelector& outlier, CapeDirection direction, size_t k) const {
+  int value_col = result.schema().FindColumn(value_column);
+  if (value_col < 0) {
+    return Status::NotFound(
+        Format("result has no column '%s'", value_column.c_str()));
+  }
+  ASSIGN_OR_RETURN(int outlier_row, outlier.FindRow(result));
+
+  const size_t n = result.num_rows();
+  if (n < 3) {
+    return Status::InvalidArgument("result too small for trend fitting");
+  }
+
+  // Fit a linear trend of the aggregate over the output-row ordinal (CAPE's
+  // regression over the series; group-by values define the axis order).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t r = 0; r < n; ++r) {
+    double x = static_cast<double>(r);
+    double y = result.GetValue(r, value_col).ToDouble();
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double dn = static_cast<double>(n);
+  double denom = dn * sxx - sx * sx;
+  double slope = denom != 0 ? (dn * sxy - sx * sy) / denom : 0.0;
+  double intercept = (sy - slope * sx) / dn;
+  auto predict = [&](size_t r) { return intercept + slope * static_cast<double>(r); };
+
+  double outlier_residual =
+      result.GetValue(outlier_row, value_col).ToDouble() - predict(outlier_row);
+  // The direction the counterbalances must lean: opposite the user question.
+  double wanted_sign = direction == CapeDirection::kHigh ? -1.0 : 1.0;
+
+  auto describe = [&](size_t r) {
+    std::vector<std::string> parts;
+    for (size_t c = 0; c < result.schema().num_columns(); ++c) {
+      parts.push_back(result.GetValue(r, c).ToString());
+    }
+    return "(" + Join(parts, ",") + ")";
+  };
+
+  std::vector<CapeExplanation> out;
+  for (size_t r = 0; r < n; ++r) {
+    if (static_cast<int>(r) == outlier_row) continue;
+    double residual = result.GetValue(r, value_col).ToDouble() - predict(r);
+    if (residual * wanted_sign <= 0) continue;
+    CapeExplanation e;
+    e.tuple = describe(r);
+    e.value = result.GetValue(r, value_col).ToDouble();
+    e.predicted = predict(r);
+    e.residual = residual;
+    e.score = std::fabs(residual) * std::min(1.0, std::fabs(outlier_residual));
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CapeExplanation& a, const CapeExplanation& b) {
+              return std::fabs(a.residual) > std::fabs(b.residual);
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace cajade

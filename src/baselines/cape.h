@@ -1,0 +1,53 @@
+// CAPE baseline (Miao et al., SIGMOD 2019), the comparison system of the
+// paper's Section 5.6: given an aggregate query result, a user-selected
+// outlier tuple, and a direction (high/low), CAPE fits a trend over the
+// result (regression within pattern groups) and returns tuples that
+// counterbalance the outlier — similar outliers in the opposite direction.
+// The paper's experiment shows CAPE answers a different question than
+// CaJaDE (counterbalances vs. contextual patterns); this implementation
+// reproduces that qualitative behaviour.
+
+#ifndef CAJADE_BASELINES_CAPE_H_
+#define CAJADE_BASELINES_CAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/question.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+
+enum class CapeDirection {
+  kHigh,  ///< "why is this value so high?"
+  kLow,
+};
+
+/// One counterbalance explanation: an output tuple whose residual against
+/// the fitted trend opposes the user tuple's direction.
+struct CapeExplanation {
+  std::string tuple;      ///< rendering of the counterbalancing output tuple
+  double value = 0.0;     ///< its aggregate value
+  double predicted = 0.0; ///< trend prediction
+  double residual = 0.0;  ///< value - predicted
+  double score = 0.0;     ///< |residual| scaled by the outlier's own deviation
+};
+
+/// \brief Finds top-k counterbalances for an outlier in `result`.
+///
+/// `value_column` is the aggregate output column; the remaining columns are
+/// treated as the group-by attributes (ordinal position encodes the trend
+/// axis, matching CAPE's use of regression over the result series).
+class Cape {
+ public:
+  Result<std::vector<CapeExplanation>> Explain(const Table& result,
+                                               const std::string& value_column,
+                                               const TupleSelector& outlier,
+                                               CapeDirection direction,
+                                               size_t k = 3) const;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_BASELINES_CAPE_H_

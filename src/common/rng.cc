@@ -1,0 +1,43 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace cajade {
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double z0 = mag * std::cos(2.0 * M_PI * u2);
+  double z1 = mag * std::sin(2.0 * M_PI * u2);
+  cached_normal_ = z1;
+  have_cached_normal_ = true;
+  return mean + stddev * z0;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  // Partial Fisher-Yates over an index vector; O(n) setup, O(k) draws.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + NextBounded(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace cajade

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (data generators, samplers,
+// random forests) takes an explicit Rng so that tests and benchmarks are
+// reproducible run-to-run and across platforms (we avoid std::
+// distributions, whose outputs are implementation-defined).
+
+#ifndef CAJADE_COMMON_RNG_H_
+#define CAJADE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cajade {
+
+/// \brief splitmix64-seeded xoshiro256** generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 to expand the seed into four state words.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBounded(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Derives an independent generator (for parallel or per-entity streams).
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (k may exceed n, in which case all n indices are returned).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_COMMON_RNG_H_

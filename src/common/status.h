@@ -1,0 +1,170 @@
+// Status / Result<T> error handling, in the Arrow/RocksDB style.
+//
+// Library code does not throw exceptions; every fallible operation returns a
+// Status (for void results) or a Result<T> (a Status-or-value union).
+
+#ifndef CAJADE_COMMON_STATUS_H_
+#define CAJADE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace cajade {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kBindError,
+  kExecutionError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of a fallible operation: a code plus a message.
+///
+/// An OK status carries no allocation; error statuses carry a message that is
+/// meant to be surfaced to the caller verbatim.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access the value only after checking ok();
+/// ValueOrDie() aborts on error (used in tests and examples where failure is
+/// a programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit conversion from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    if (!status_.ok()) {
+      DieOnError();
+    }
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!status_.ok()) {
+      DieOnError();
+    }
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!status_.ok()) {
+      DieOnError();
+    }
+    return std::move(*value_);
+  }
+
+  /// Moves the contained value out; only valid when ok().
+  T MoveValue() {
+    assert(status_.ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  [[noreturn]] void DieOnError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+[[noreturn]] void AbortWithStatus(const Status& status);
+
+template <typename T>
+void Result<T>::DieOnError() const {
+  AbortWithStatus(status_);
+}
+
+#define CAJADE_CONCAT_IMPL(x, y) x##y
+#define CAJADE_CONCAT(x, y) CAJADE_CONCAT_IMPL(x, y)
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_NOT_OK(expr)                  \
+  do {                                       \
+    ::cajade::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                          \
+  if (!result_name.ok()) return result_name.status();  \
+  lhs = std::move(result_name).MoveValue()
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(CAJADE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace cajade
+
+#endif  // CAJADE_COMMON_STATUS_H_

@@ -1,0 +1,81 @@
+#include "src/common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace cajade {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int lr = TypeRank(*this);
+  int rr = TypeRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  if (is_null()) return 0;
+  if (is_numeric()) {
+    // Compare ints exactly when both are ints to avoid precision loss.
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const std::string& a = AsString();
+  const std::string& b = other.AsString();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    double d = AsDouble();
+    if (std::floor(d) == d && std::abs(d) < 1e15) {
+      // Render integral doubles without a long fraction tail.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", d);
+      return buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", d);
+    return buf;
+  }
+  return AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_numeric()) {
+    // Hash numerics through double so 3 and 3.0 collide, matching Compare.
+    double d = ToDouble();
+    if (d == 0.0) d = 0.0;  // normalize -0.0
+    return std::hash<double>()(d);
+  }
+  return std::hash<std::string>()(AsString());
+}
+
+}  // namespace cajade

@@ -1,0 +1,88 @@
+// Value: the dynamically-typed scalar used at API boundaries (query
+// parameters, pattern constants, row accessors). Columns store data in typed
+// vectors; Value is the lingua franca between them.
+
+#ifndef CAJADE_COMMON_VALUE_H_
+#define CAJADE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cajade {
+
+/// Physical type of a column or scalar.
+enum class DataType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// True for types that participate in arithmetic and ordered comparisons.
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+/// \brief A nullable scalar: null, int64, double, or string.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  DataType type() const {
+    if (is_null()) return DataType::kNull;
+    if (is_int()) return DataType::kInt64;
+    if (is_double()) return DataType::kDouble;
+    return DataType::kString;
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double; valid for int and double values.
+  double ToDouble() const { return is_int() ? static_cast<double>(AsInt()) : AsDouble(); }
+
+  /// Three-way comparison. Nulls order before all non-nulls; numerics compare
+  /// by value across int/double; strings compare lexicographically. Comparing
+  /// a string with a number is an ordering by type tag (stable, arbitrary).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Rendering used in explanation text and test output.
+  std::string ToString() const;
+
+  /// Hash consistent with operator== (numeric 3 == 3.0 hash equal).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_COMMON_VALUE_H_

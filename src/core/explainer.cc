@@ -1,0 +1,220 @@
+#include "src/core/explainer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/sql/parser.h"
+
+namespace cajade {
+
+std::string Explanation::ToString() const {
+  return Format("[%s] %s  (F=%.2f, P=%.2f, R=%.2f, %lld/%lld vs %lld/%lld) %s",
+                join_graph.c_str(), pattern.c_str(), fscore, precision, recall,
+                static_cast<long long>(support_primary),
+                static_cast<long long>(total_primary),
+                static_cast<long long>(support_other),
+                static_cast<long long>(total_other), primary_tuple.c_str());
+}
+
+Status Explainer::ResolveQuestion(const ProvenanceTable& pt,
+                                  const UserQuestion& question,
+                                  std::vector<int64_t>* pt_rows,
+                                  PtClasses* classes, std::string* t1_desc,
+                                  std::string* t2_desc) const {
+  const Table& result = pt.result;
+  ASSIGN_OR_RETURN(int row1, question.t1.FindRow(result));
+
+  auto describe_row = [&](int r) {
+    std::vector<std::string> parts;
+    for (size_t c = 0; c < result.schema().num_columns(); ++c) {
+      parts.push_back(result.schema().column(c).name + "=" +
+                      result.GetValue(r, c).ToString());
+    }
+    return "(" + Join(parts, ", ") + ")";
+  };
+  *t1_desc = describe_row(row1);
+
+  std::vector<int> rows2;
+  if (question.is_single_point()) {
+    for (size_t r = 0; r < result.num_rows(); ++r) {
+      if (static_cast<int>(r) != row1) rows2.push_back(static_cast<int>(r));
+    }
+    *t2_desc = "(all other output tuples)";
+  } else {
+    ASSIGN_OR_RETURN(int row2, question.t2.FindRow(result));
+    if (row2 == row1) {
+      return Status::InvalidArgument("t1 and t2 select the same output tuple");
+    }
+    rows2.push_back(row2);
+    *t2_desc = describe_row(row2);
+  }
+
+  // Gather PT rows of both sides; class 0 = t1, class 1 = t2.
+  std::vector<std::pair<int64_t, int8_t>> tagged;
+  for (int64_t r : pt.output_to_pt_rows[row1]) tagged.emplace_back(r, 0);
+  for (int r2 : rows2) {
+    for (int64_t r : pt.output_to_pt_rows[r2]) tagged.emplace_back(r, 1);
+  }
+  std::sort(tagged.begin(), tagged.end());
+  pt_rows->clear();
+  classes->clear();
+  pt_rows->reserve(tagged.size());
+  classes->reserve(tagged.size());
+  for (const auto& [r, cls] : tagged) {
+    pt_rows->push_back(r);
+    classes->push_back(cls);
+  }
+  if (pt_rows->empty()) {
+    return Status::InvalidArgument("user question selects empty provenance");
+  }
+  return Status::OK();
+}
+
+Result<ExplainResult> Explainer::Explain(const std::string& sql,
+                                         const UserQuestion& question) const {
+  ASSIGN_OR_RETURN(ParsedQuery query, ParseQuery(sql));
+  return Explain(query, question);
+}
+
+Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
+                                         const UserQuestion& question) const {
+  ExplainResult out;
+  Rng rng(config_.seed);
+
+  // Provenance.
+  ProvenanceTable pt;
+  {
+    ScopedStep step(&out.profile, "Compute Provenance");
+    ASSIGN_OR_RETURN(pt, ComputeProvenance(*db_, query));
+  }
+  std::vector<int64_t> pt_rows;
+  PtClasses classes;
+  RETURN_NOT_OK(ResolveQuestion(pt, question, &pt_rows, &classes,
+                                &out.t1_description, &out.t2_description));
+
+  // Enumerate join graphs, materialize + mine each valid one.
+  JoinGraphEnumerator::Options opts;
+  opts.max_edges = config_.max_join_graph_edges;
+  opts.cost_threshold = config_.cost_threshold;
+  opts.check_cost = config_.enable_cost_pruning;
+  opts.pk_check = !config_.enable_pk_pruning ? PkCheckMode::kOff
+                  : config_.pk_check_strict  ? PkCheckMode::kAllAttrs
+                                             : PkCheckMode::kAnyAttr;
+  opts.include_pt_only = config_.include_pt_only_graph;
+  JoinGraphEnumerator enumerator(schema_graph_, db_, pt.relations, opts);
+
+  PatternMiner miner(&config_, &out.profile);
+  AptIndexCache index_cache;
+  Timer enum_timer;
+  double callback_seconds = 0.0;
+  Status status = enumerator.Enumerate(
+      static_cast<double>(pt_rows.size()), pt.table.schema().num_columns(),
+      [&](const JoinGraph& graph) -> Status {
+        Timer cb_timer;
+        Apt apt;
+        {
+          ScopedStep step(&out.profile, "Materialize APTs");
+          Result<Apt> apt_result =
+              MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_,
+                             &index_cache, config_.max_apt_rows);
+          if (!apt_result.ok()) {
+            if (apt_result.status().code() == StatusCode::kOutOfRange) {
+              // Cost-estimate miss: the APT blew past the hard cap.
+              ++out.apts_skipped_oversize;
+              callback_seconds += cb_timer.ElapsedSeconds();
+              return Status::OK();
+            }
+            return apt_result.status();
+          }
+          apt = std::move(apt_result).MoveValue();
+        }
+        if (apt.num_rows() == 0) {
+          callback_seconds += cb_timer.ElapsedSeconds();
+          return Status::OK();  // context join eliminated all provenance
+        }
+        Rng graph_rng = rng.Fork();
+        ASSIGN_OR_RETURN(MineResult mined, miner.Mine(apt, classes, &graph_rng));
+        ++out.apts_mined;
+        out.patterns_evaluated += mined.patterns_evaluated;
+        for (const auto& mp : mined.top_k) {
+          Explanation e;
+          e.join_graph = graph.Describe();
+          e.join_conditions = graph.DescribeEdges(*schema_graph_);
+          e.pattern = mp.pattern.Describe(apt.table);
+          e.primary = mp.primary;
+          e.primary_tuple = mp.primary == 0 ? out.t1_description
+                                            : out.t2_description;
+          e.precision = mp.exact.precision;
+          e.recall = mp.exact.recall;
+          e.fscore = mp.exact.fscore;
+          e.fscore_sampled = mp.scores.fscore;
+          e.support_primary = mp.support_primary;
+          e.total_primary = mp.total_primary;
+          e.support_other = mp.support_other;
+          e.total_other = mp.total_other;
+          e.pattern_size = static_cast<int>(mp.pattern.size());
+          out.explanations.push_back(std::move(e));
+        }
+        callback_seconds += cb_timer.ElapsedSeconds();
+        return Status::OK();
+      });
+  RETURN_NOT_OK(status);
+  out.profile.Add("JG Enum.",
+                  std::max(0.0, enum_timer.ElapsedSeconds() - callback_seconds));
+  out.enumeration = enumerator.stats();
+
+  // Global ranking across join graphs by F-score.
+  std::stable_sort(out.explanations.begin(), out.explanations.end(),
+                   [](const Explanation& a, const Explanation& b) {
+                     return a.fscore > b.fscore;
+                   });
+  out.query_result = std::move(pt.result);
+  return out;
+}
+
+Result<Apt> Explainer::BuildApt(const ParsedQuery& query,
+                                const UserQuestion& question,
+                                const JoinGraph& graph) const {
+  ASSIGN_OR_RETURN(ProvenanceTable pt, ComputeProvenance(*db_, query));
+  std::vector<int64_t> pt_rows;
+  PtClasses classes;
+  std::string d1, d2;
+  RETURN_NOT_OK(ResolveQuestion(pt, question, &pt_rows, &classes, &d1, &d2));
+  return MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_);
+}
+
+Result<MineResult> Explainer::MineJoinGraph(const ParsedQuery& query,
+                                            const UserQuestion& question,
+                                            const JoinGraph& graph,
+                                            StepProfiler* profiler) const {
+  ASSIGN_OR_RETURN(ProvenanceTable pt, ComputeProvenance(*db_, query));
+  std::vector<int64_t> pt_rows;
+  PtClasses classes;
+  std::string d1, d2;
+  RETURN_NOT_OK(ResolveQuestion(pt, question, &pt_rows, &classes, &d1, &d2));
+  StepProfiler local;
+  StepProfiler* prof = profiler != nullptr ? profiler : &local;
+  Apt apt;
+  {
+    ScopedStep step(prof, "Materialize APTs");
+    ASSIGN_OR_RETURN(apt,
+                     MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_));
+  }
+  PatternMiner miner(&config_, prof);
+  Rng rng(config_.seed);
+  return miner.Mine(apt, classes, &rng);
+}
+
+std::vector<Explanation> DeduplicateExplanations(
+    const std::vector<Explanation>& ranked) {
+  std::vector<Explanation> out;
+  std::unordered_map<std::string, bool> seen;
+  for (const auto& e : ranked) {
+    std::string key = e.pattern + "|" + std::to_string(e.primary);
+    if (seen.emplace(std::move(key), true).second) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace cajade

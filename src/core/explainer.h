@@ -1,0 +1,123 @@
+// The CaJaDE engine (paper Definition 6 + Algorithms 1 and 2): given a
+// query, a user question, and a schema graph, enumerate join graphs, mine
+// each valid graph's augmented provenance table for summarization patterns,
+// and return a globally ranked explanation list.
+
+#ifndef CAJADE_CORE_EXPLAINER_H_
+#define CAJADE_CORE_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/timer.h"
+#include "src/core/config.h"
+#include "src/core/question.h"
+#include "src/graph/enumerator.h"
+#include "src/graph/schema_graph.h"
+#include "src/mining/miner.h"
+#include "src/provenance/provenance.h"
+#include "src/sql/expr.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// \brief One ranked explanation E = (Omega, Phi, (c1,a1), (c2,a2)).
+struct Explanation {
+  /// Join graph structure, e.g. "PT - player_game_stats - player".
+  std::string join_graph;
+  /// Edge-by-edge join conditions.
+  std::string join_conditions;
+  /// Pattern over the APT's attribute names.
+  std::string pattern;
+  /// 0 when t1 is the primary tuple, 1 for t2.
+  int primary = 0;
+  /// Rendering of the primary output tuple's group-by values.
+  std::string primary_tuple;
+  double precision = 0.0;
+  double recall = 0.0;
+  double fscore = 0.0;
+  /// F-score on the sampled metrics view that drove mining (equals `fscore`
+  /// when lambda_F1-samp = 1); the sampling experiments compare rankings by
+  /// this value against the exact ranking.
+  double fscore_sampled = 0.0;
+  /// Relative supports (Definition 6): (c1, a1) for the primary tuple,
+  /// (c2, a2) for the other.
+  int64_t support_primary = 0;
+  int64_t total_primary = 0;
+  int64_t support_other = 0;
+  int64_t total_other = 0;
+  /// Number of predicates in the pattern.
+  int pattern_size = 0;
+
+  /// One-line rendering for logs/examples.
+  std::string ToString() const;
+};
+
+/// Result of explaining one user question.
+struct ExplainResult {
+  Table query_result;
+  /// Explanations from all join graphs, globally ranked by F-score
+  /// (Section 4, "Ranking Results").
+  std::vector<Explanation> explanations;
+  /// Step timings (paper Figures 7/9 breakdown rows plus "JG Enum.",
+  /// "Materialize APTs", "Compute Provenance").
+  StepProfiler profile;
+  EnumeratorStats enumeration;
+  size_t apts_mined = 0;
+  size_t apts_skipped_oversize = 0;
+  size_t patterns_evaluated = 0;
+  std::string t1_description;
+  std::string t2_description;
+};
+
+/// \brief End-to-end explanation engine.
+class Explainer {
+ public:
+  Explainer(const Database* db, const SchemaGraph* schema_graph,
+            CajadeConfig config = {})
+      : db_(db), schema_graph_(schema_graph), config_(config) {}
+
+  /// Parses and explains.
+  Result<ExplainResult> Explain(const std::string& sql,
+                                const UserQuestion& question) const;
+
+  /// Explains a pre-parsed query.
+  Result<ExplainResult> Explain(const ParsedQuery& query,
+                                const UserQuestion& question) const;
+
+  /// Mines a single caller-supplied join graph (used by the sampling and
+  /// ET-comparison experiments that fix one APT).
+  Result<MineResult> MineJoinGraph(const ParsedQuery& query,
+                                   const UserQuestion& question,
+                                   const JoinGraph& graph,
+                                   StepProfiler* profiler = nullptr) const;
+
+  /// Materializes the APT of one join graph (exposes Figure 10a's
+  /// rows/attributes reporting).
+  Result<Apt> BuildApt(const ParsedQuery& query, const UserQuestion& question,
+                       const JoinGraph& graph) const;
+
+  const CajadeConfig& config() const { return config_; }
+  CajadeConfig* mutable_config() { return &config_; }
+
+ private:
+  /// Resolves the user question into PT row classes.
+  Status ResolveQuestion(const ProvenanceTable& pt, const UserQuestion& question,
+                         std::vector<int64_t>* pt_rows, PtClasses* classes,
+                         std::string* t1_desc, std::string* t2_desc) const;
+
+  const Database* db_;
+  const SchemaGraph* schema_graph_;
+  CajadeConfig config_;
+};
+
+/// Removes near-duplicate explanations: keeps the best-scoring instance of
+/// each (pattern, primary) regardless of which join graph produced it (the
+/// presentation-level dedup the paper applies in Section 6).
+std::vector<Explanation> DeduplicateExplanations(
+    const std::vector<Explanation>& ranked);
+
+}  // namespace cajade
+
+#endif  // CAJADE_CORE_EXPLAINER_H_

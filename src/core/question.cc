@@ -1,0 +1,73 @@
+#include "src/core/question.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+namespace {
+
+bool ValuesMatch(const Value& cell, const Value& wanted) {
+  if (cell.is_null() || wanted.is_null()) return cell.is_null() && wanted.is_null();
+  if (cell.is_numeric() && wanted.is_numeric()) {
+    return std::fabs(cell.ToDouble() - wanted.ToDouble()) < 1e-9;
+  }
+  return cell == wanted;
+}
+
+}  // namespace
+
+Result<int> TupleSelector::FindRow(const Table& result) const {
+  if (equals.empty()) {
+    return Status::InvalidArgument("empty tuple selector");
+  }
+  std::vector<int> cols;
+  for (const auto& [name, _] : equals) {
+    int c = result.schema().FindColumn(name);
+    if (c < 0) {
+      return Status::NotFound(
+          Format("result has no column '%s'", name.c_str()));
+    }
+    cols.push_back(c);
+  }
+  int found = -1;
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    bool all = true;
+    for (size_t i = 0; i < equals.size(); ++i) {
+      if (!ValuesMatch(result.GetValue(r, cols[i]), equals[i].second)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument(
+          Format("selector %s matches more than one output tuple",
+                 ToString().c_str()));
+    }
+    found = static_cast<int>(r);
+  }
+  if (found < 0) {
+    return Status::NotFound(
+        Format("selector %s matches no output tuple", ToString().c_str()));
+  }
+  return found;
+}
+
+std::string TupleSelector::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(equals.size());
+  for (const auto& [name, value] : equals) {
+    parts.push_back(name + "=" + value.ToString());
+  }
+  return "[" + Join(parts, ", ") + "]";
+}
+
+TupleSelector Where(std::vector<std::pair<std::string, Value>> equals) {
+  TupleSelector s;
+  s.equals = std::move(equals);
+  return s;
+}
+
+}  // namespace cajade

@@ -1,0 +1,52 @@
+// User questions (paper Section 2.4): two-point questions compare the
+// provenance of two output tuples t1 and t2; single-point questions compare
+// one tuple against all remaining output tuples.
+
+#ifndef CAJADE_CORE_QUESTION_H_
+#define CAJADE_CORE_QUESTION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+
+/// Selects one output tuple by equality on output-column values
+/// (e.g. season_name = '2015-16').
+struct TupleSelector {
+  std::vector<std::pair<std::string, Value>> equals;
+
+  bool empty() const { return equals.empty(); }
+
+  /// Index of the unique matching row of `result`; errors when none or
+  /// several match. Numeric comparisons use a small tolerance.
+  Result<int> FindRow(const Table& result) const;
+
+  std::string ToString() const;
+};
+
+/// \brief A user question over a query result.
+struct UserQuestion {
+  TupleSelector t1;
+  /// Empty selector = single-point question (t2 := all other tuples).
+  TupleSelector t2;
+
+  bool is_single_point() const { return t2.empty(); }
+
+  static UserQuestion TwoPoint(TupleSelector t1, TupleSelector t2) {
+    return UserQuestion{std::move(t1), std::move(t2)};
+  }
+  static UserQuestion SinglePoint(TupleSelector t) {
+    return UserQuestion{std::move(t), {}};
+  }
+};
+
+/// Convenience selector builder: {{"season_name", Value("2015-16")}}.
+TupleSelector Where(std::vector<std::pair<std::string, Value>> equals);
+
+}  // namespace cajade
+
+#endif  // CAJADE_CORE_QUESTION_H_

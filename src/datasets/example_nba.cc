@@ -1,0 +1,185 @@
+#include "src/datasets/example_nba.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+namespace {
+
+constexpr const char* kOpponents[] = {"MIA", "DET", "NOP", "WAS", "IND",
+                                      "LAL", "SAS", "HOU", "BOS", "CHI"};
+
+struct GameRow {
+  int64_t year, month, day;
+  std::string home, away, winner, season;
+  int64_t home_pts, away_pts;
+};
+
+}  // namespace
+
+Result<Database> MakeExampleNbaDatabase(const ExampleNbaOptions& options) {
+  Database db;
+  Rng rng(options.seed);
+
+  Schema game_schema({{"year", DataType::kInt64, true},
+                      {"month", DataType::kInt64, true},
+                      {"day", DataType::kInt64, true},
+                      {"home", DataType::kString},
+                      {"away", DataType::kString},
+                      {"home_pts", DataType::kInt64},
+                      {"away_pts", DataType::kInt64},
+                      {"winner", DataType::kString},
+                      {"season", DataType::kString}});
+  game_schema.SetPrimaryKey({"year", "month", "day", "home"});
+  ASSIGN_OR_RETURN(TablePtr game, db.CreateTable("game", std::move(game_schema)));
+
+  Schema pgs_schema({{"player", DataType::kString},
+                     {"year", DataType::kInt64, true},
+                     {"month", DataType::kInt64, true},
+                     {"day", DataType::kInt64, true},
+                     {"home", DataType::kString, true},
+                     {"pts", DataType::kInt64}});
+  pgs_schema.SetPrimaryKey({"player", "year", "month", "day", "home"});
+  pgs_schema.AddForeignKey({{"year", "month", "day", "home"},
+                            "game",
+                            {"year", "month", "day", "home"}});
+  ASSIGN_OR_RETURN(TablePtr pgs,
+                   db.CreateTable("player_game_scoring", std::move(pgs_schema)));
+
+  Schema ls_schema({{"lineupid", DataType::kInt64, true},
+                    {"year", DataType::kInt64, true},
+                    {"month", DataType::kInt64, true},
+                    {"day", DataType::kInt64, true},
+                    {"home", DataType::kString, true},
+                    {"mp", DataType::kDouble}});
+  ls_schema.SetPrimaryKey({"lineupid", "year", "month", "day", "home"});
+  ls_schema.AddForeignKey({{"year", "month", "day", "home"},
+                           "game",
+                           {"year", "month", "day", "home"}});
+  ASSIGN_OR_RETURN(TablePtr ls,
+                   db.CreateTable("lineup_per_game_stats", std::move(ls_schema)));
+
+  Schema lp_schema(
+      {{"lineupid", DataType::kInt64, true}, {"player", DataType::kString}});
+  lp_schema.SetPrimaryKey({"lineupid", "player"});
+  ASSIGN_OR_RETURN(TablePtr lp, db.CreateTable("lineup_player", std::move(lp_schema)));
+
+  // GSW lineups. Lineup 58420 is the planted Green+Thompson pairing.
+  const std::vector<std::pair<int64_t, std::vector<std::string>>> lineups = {
+      {58420, {"K. Thompson", "D. Green", "S. Curry", "H. Barnes", "A. Bogut"}},
+      {13507, {"S. Curry", "H. Barnes", "A. Iguodala", "S. Livingston", "A. Bogut"}},
+      {67949, {"D. Green", "S. Curry", "A. Iguodala", "H. Barnes", "F. Ezeli"}},
+  };
+  for (const auto& [lid, players] : lineups) {
+    for (const auto& p : players) {
+      RETURN_NOT_OK(lp->AppendRow({Value(lid), Value(p)}));
+    }
+  }
+
+  auto add_season = [&](const std::string& season, int start_year, int games,
+                        int wins) -> Status {
+    for (int i = 0; i < games; ++i) {
+      GameRow g;
+      g.month = 1 + (i % 6);             // Jan..Jun of the second year
+      g.year = start_year + 1;
+      g.day = 1 + (i * 3) % 28;
+      g.season = season;
+      bool gsw_home = (i % 2) == 0;
+      std::string opp = kOpponents[i % (sizeof(kOpponents) / sizeof(char*))];
+      g.home = gsw_home ? "GSW" : opp;
+      g.away = gsw_home ? opp : "GSW";
+      bool gsw_wins = i < wins;
+      g.winner = gsw_wins ? "GSW" : opp;
+      int64_t w_pts = rng.UniformInt(105, 125);
+      int64_t l_pts = rng.UniformInt(88, 104);
+      bool home_wins = g.winner == g.home;
+      g.home_pts = home_wins ? w_pts : l_pts;
+      g.away_pts = home_wins ? l_pts : w_pts;
+      RETURN_NOT_OK(game->AppendRow({Value(g.year), Value(g.month), Value(g.day),
+                                     Value(g.home), Value(g.away),
+                                     Value(g.home_pts), Value(g.away_pts),
+                                     Value(g.winner), Value(g.season)}));
+
+      bool is_2015 = season == "2015-16";
+      // Star-player signal: Curry scores >= 23 in most 2015-16 wins, rarely
+      // in 2012-13.
+      int64_t curry;
+      if (is_2015 && gsw_wins) {
+        curry = rng.Bernoulli(0.85) ? rng.UniformInt(23, 45) : rng.UniformInt(12, 22);
+      } else if (!is_2015 && gsw_wins) {
+        curry = rng.Bernoulli(0.3) ? rng.UniformInt(23, 35) : rng.UniformInt(10, 22);
+      } else {
+        curry = rng.UniformInt(8, 24);
+      }
+      struct PlayerPts {
+        const char* name;
+        int64_t pts;
+      };
+      // Roster churn mirroring reality: J. Jack played for GSW only in
+      // 2012-13; A. Iguodala joined in 2013.
+      std::vector<PlayerPts> scorers = {
+          {"S. Curry", curry},
+          {"K. Thompson", rng.UniformInt(10, 28)},
+          {"D. Green", rng.UniformInt(2, 14)},
+          {"H. Barnes", rng.UniformInt(4, 16)},
+          {is_2015 ? "A. Iguodala" : "J. Jack", rng.UniformInt(5, 15)},
+      };
+      for (const auto& s : scorers) {
+        RETURN_NOT_OK(pgs->AppendRow({Value(s.name), Value(g.year), Value(g.month),
+                                      Value(g.day), Value(g.home),
+                                      Value(s.pts)}));
+      }
+      // Opponent scorers (context noise).
+      RETURN_NOT_OK(pgs->AppendRow({Value(opp + " Star"), Value(g.year),
+                                    Value(g.month), Value(g.day), Value(g.home),
+                                    Value(rng.UniformInt(12, 30))}));
+
+      // Pair-of-players signal: lineup 58420 (Green+Thompson) plays >= 19
+      // minutes in most 2015-16 wins and rarely did in 2012-13.
+      double pair_mp;
+      if (is_2015 && gsw_wins) {
+        pair_mp = rng.Bernoulli(0.9) ? rng.Uniform(19.0, 30.0) : rng.Uniform(4.0, 18.0);
+      } else {
+        pair_mp = rng.Bernoulli(0.12) ? rng.Uniform(19.0, 24.0) : rng.Uniform(2.0, 17.0);
+      }
+      RETURN_NOT_OK(ls->AppendRow({Value(int64_t{58420}), Value(g.year),
+                                   Value(g.month), Value(g.day), Value(g.home),
+                                   Value(pair_mp)}));
+      RETURN_NOT_OK(ls->AppendRow({Value(int64_t{13507}), Value(g.year),
+                                   Value(g.month), Value(g.day), Value(g.home),
+                                   Value(rng.Uniform(5.0, 20.0))}));
+      RETURN_NOT_OK(ls->AppendRow({Value(int64_t{67949}), Value(g.year),
+                                   Value(g.month), Value(g.day), Value(g.home),
+                                   Value(rng.Uniform(3.0, 15.0))}));
+    }
+    return Status::OK();
+  };
+
+  RETURN_NOT_OK(add_season("2012-13", 2012, options.games_2012, options.wins_2012));
+  RETURN_NOT_OK(add_season("2015-16", 2015, options.games_2015, options.wins_2015));
+  return db;
+}
+
+Result<SchemaGraph> MakeExampleNbaSchemaGraph(const Database& db) {
+  ASSIGN_OR_RETURN(SchemaGraph graph, SchemaGraph::FromForeignKeys(db));
+  // Figure 3's second condition on edge u1: players' stats in games the home
+  // team won.
+  RETURN_NOT_OK(graph.AddCondition("player_game_scoring", "game",
+                                   {{{"year", "year"},
+                                     {"month", "month"},
+                                     {"day", "day"},
+                                     {"home", "home"},
+                                     {"home", "winner"}}}));
+  // u3: lineup stats to lineup membership.
+  RETURN_NOT_OK(graph.AddCondition("lineup_per_game_stats", "lineup_player",
+                                   {{{"lineupid", "lineupid"}}}));
+  // u4: lineup_player self-join (pairs of players in the same lineup).
+  RETURN_NOT_OK(graph.AddCondition("lineup_player", "lineup_player",
+                                   {{{"lineupid", "lineupid"}}}));
+  return graph;
+}
+
+}  // namespace cajade

@@ -1,0 +1,36 @@
+// The simplified NBA database of the paper's Example 1: Game,
+// PlayerGameScoring, LineupPerGameStats, LineupPlayer — with a planted
+// "star player" signal (S. Curry scoring high in 2015-16) and a planted
+// "pair of players" lineup signal, so the intro's two headline explanations
+// are recoverable. Used by the quickstart example and end-to-end tests.
+
+#ifndef CAJADE_DATASETS_EXAMPLE_NBA_H_
+#define CAJADE_DATASETS_EXAMPLE_NBA_H_
+
+#include <cstdint>
+
+#include "src/graph/schema_graph.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+struct ExampleNbaOptions {
+  /// Games GSW wins / plays per season.
+  int wins_2012 = 12;
+  int games_2012 = 26;
+  int wins_2015 = 24;
+  int games_2015 = 30;
+  uint64_t seed = 7;
+};
+
+/// Builds the Example 1 database.
+Result<Database> MakeExampleNbaDatabase(const ExampleNbaOptions& options = {});
+
+/// The matching schema graph (Figure 3): game-player_game_scoring (two
+/// conditions: game key; game key + home=winner), game-lineup_per_game_stats,
+/// lineup_per_game_stats-lineup_player, lineup_player self-join.
+Result<SchemaGraph> MakeExampleNbaSchemaGraph(const Database& db);
+
+}  // namespace cajade
+
+#endif  // CAJADE_DATASETS_EXAMPLE_NBA_H_

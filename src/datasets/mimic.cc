@@ -1,0 +1,374 @@
+#include "src/datasets/mimic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+namespace {
+
+struct Categorical {
+  std::vector<const char*> values;
+  std::vector<double> weights;
+
+  const char* Sample(Rng* rng) const {
+    double total = 0;
+    for (double w : weights) total += w;
+    double x = rng->UniformDouble() * total;
+    for (size_t i = 0; i < values.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0) return values[i];
+    }
+    return values.back();
+  }
+};
+
+const Categorical kInsurance = {
+    {"Medicare", "Private", "Medicaid", "Government", "Self Pay"},
+    {0.45, 0.36, 0.10, 0.05, 0.04}};
+
+const Categorical kEthnicity = {
+    {"White", "Unknown", "Black", "Hispanic", "Asian", "Other",
+     "Unable To Obtain", "Declined To Answer", "Multi-Race Ethnicity",
+     "Middle Eastern", "Pacific Islander", "South American"},
+    {0.55, 0.10, 0.09, 0.036, 0.03, 0.028, 0.02, 0.012, 0.003, 0.001, 0.0004,
+     0.0001}};
+
+const Categorical kAdmissionLocation = {
+    {"EMERGENCY ROOM ADMIT", "TRANSFER FROM HOSP/EXTRAM", "CLINIC REFERRAL",
+     "PHYS REFERRAL/NORMAL DELI"},
+    {0.45, 0.15, 0.15, 0.25}};
+
+const Categorical kDischargeLocation = {
+    {"HOME", "SNF", "REHAB", "DEAD/EXPIRED", "HOME HEALTH CARE"},
+    {0.4, 0.15, 0.12, 0.1, 0.23}};
+
+const Categorical kLanguage = {{"ENGL", "SPAN", "RUSS", "CANT", "PORT"},
+                               {0.78, 0.1, 0.05, 0.04, 0.03}};
+
+const Categorical kCareUnit = {{"MICU", "SICU", "CCU", "CSRU", "TSICU"},
+                               {0.35, 0.2, 0.15, 0.15, 0.15}};
+
+/// Diagnosis chapters with their planted in-hospital death rates
+/// (Figure 16a's shape: chapter 1/2 high, 11/15 low, 13 mid-low).
+struct ChapterSpec {
+  const char* chapter;
+  double weight;
+  double death_rate;
+};
+const ChapterSpec kChapters[] = {
+    {"1", 0.06, 0.19},  {"2", 0.07, 0.19},  {"3", 0.08, 0.12},
+    {"4", 0.06, 0.14},  {"5", 0.05, 0.08},  {"6", 0.05, 0.13},
+    {"7", 0.16, 0.12},  {"8", 0.07, 0.18},  {"9", 0.07, 0.14},
+    {"10", 0.06, 0.15}, {"11", 0.03, 0.01}, {"12", 0.03, 0.14},
+    {"13", 0.04, 0.09}, {"14", 0.02, 0.05}, {"15", 0.03, 0.02},
+    {"16", 0.05, 0.16}, {"17", 0.04, 0.13}, {"V", 0.02, 0.09},
+    {"E", 0.01, 0.10}};
+
+const char* SampleChapter(Rng* rng) {
+  double total = 0;
+  for (const auto& c : kChapters) total += c.weight;
+  double x = rng->UniformDouble() * total;
+  for (const auto& c : kChapters) {
+    x -= c.weight;
+    if (x <= 0) return c.chapter;
+  }
+  return "V";
+}
+
+double ChapterDeathRate(const char* chapter) {
+  for (const auto& c : kChapters) {
+    if (std::string(c.chapter) == chapter) return c.death_rate;
+  }
+  return 0.1;
+}
+
+double Clip(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+
+}  // namespace
+
+Result<Database> MakeMimicDatabase(const MimicOptions& options) {
+  Database db;
+  Rng rng(options.seed);
+
+  Schema patients_schema({{"subject_id", DataType::kInt64, true},
+                          {"gender", DataType::kString},
+                          {"dob", DataType::kString, true},
+                          {"dod", DataType::kString, true},
+                          {"dod_hosp", DataType::kString, true},
+                          {"dod_ssn", DataType::kString, true},
+                          {"expire_flag", DataType::kInt64}});
+  patients_schema.SetPrimaryKey({"subject_id"});
+  ASSIGN_OR_RETURN(TablePtr patients,
+                   db.CreateTable("patients", std::move(patients_schema)));
+
+  Schema adm_schema({{"hadm_id", DataType::kInt64, true},
+                     {"subject_id", DataType::kInt64, true},
+                     {"admittime", DataType::kString, true},
+                     {"dischtime", DataType::kString, true},
+                     {"admission_type", DataType::kString},
+                     {"admission_location", DataType::kString},
+                     {"discharge_location", DataType::kString},
+                     {"insurance", DataType::kString},
+                     {"marital_status", DataType::kString},
+                     {"edregtime", DataType::kString, true},
+                     {"edouttime", DataType::kString, true},
+                     {"diagnosis", DataType::kString, true},
+                     {"hospital_expire_flag", DataType::kInt64},
+                     {"hospital_stay_length", DataType::kInt64}});
+  adm_schema.SetPrimaryKey({"hadm_id"});
+  adm_schema.AddForeignKey({{"subject_id"}, "patients", {"subject_id"}});
+  ASSIGN_OR_RETURN(TablePtr admissions,
+                   db.CreateTable("admissions", std::move(adm_schema)));
+
+  Schema pai_schema({{"subject_id", DataType::kInt64, true},
+                     {"hadm_id", DataType::kInt64, true},
+                     {"age", DataType::kInt64},
+                     {"language", DataType::kString},
+                     {"religion", DataType::kString},
+                     {"ethnicity", DataType::kString}});
+  pai_schema.SetPrimaryKey({"hadm_id"});
+  pai_schema.AddForeignKey({{"hadm_id"}, "admissions", {"hadm_id"}});
+  pai_schema.AddForeignKey({{"subject_id"}, "patients", {"subject_id"}});
+  ASSIGN_OR_RETURN(TablePtr pai,
+                   db.CreateTable("patients_admit_info", std::move(pai_schema)));
+
+  Schema icu_schema({{"subject_id", DataType::kInt64, true},
+                     {"hadm_id", DataType::kInt64, true},
+                     {"icustay_id", DataType::kInt64, true},
+                     {"dbsource", DataType::kString},
+                     {"first_careunit", DataType::kString},
+                     {"last_careunit", DataType::kString},
+                     {"first_wardid", DataType::kInt64, true},
+                     {"last_wardid", DataType::kInt64, true},
+                     {"intime", DataType::kString, true},
+                     {"outtime", DataType::kString, true},
+                     {"los", DataType::kDouble},
+                     {"los_group", DataType::kString}});
+  icu_schema.SetPrimaryKey({"icustay_id"});
+  icu_schema.AddForeignKey({{"hadm_id"}, "admissions", {"hadm_id"}});
+  icu_schema.AddForeignKey({{"subject_id"}, "patients", {"subject_id"}});
+  ASSIGN_OR_RETURN(TablePtr icustays,
+                   db.CreateTable("icustays", std::move(icu_schema)));
+
+  Schema diag_schema({{"subject_id", DataType::kInt64, true},
+                      {"hadm_id", DataType::kInt64, true},
+                      {"seq_num", DataType::kInt64, true},
+                      {"icd9_code", DataType::kString, true},
+                      {"chapter", DataType::kString}});
+  diag_schema.SetPrimaryKey({"hadm_id", "seq_num"});
+  diag_schema.AddForeignKey({{"hadm_id"}, "admissions", {"hadm_id"}});
+  diag_schema.AddForeignKey({{"subject_id"}, "patients", {"subject_id"}});
+  ASSIGN_OR_RETURN(TablePtr diagnoses,
+                   db.CreateTable("diagnoses", std::move(diag_schema)));
+
+  Schema proc_schema({{"subject_id", DataType::kInt64, true},
+                      {"hadm_id", DataType::kInt64, true},
+                      {"seq_num", DataType::kInt64, true},
+                      {"icd9_code", DataType::kString, true},
+                      {"chapter", DataType::kString}});
+  proc_schema.SetPrimaryKey({"hadm_id", "seq_num"});
+  proc_schema.AddForeignKey({{"hadm_id"}, "admissions", {"hadm_id"}});
+  proc_schema.AddForeignKey({{"subject_id"}, "patients", {"subject_id"}});
+  ASSIGN_OR_RETURN(TablePtr procedures,
+                   db.CreateTable("procedures", std::move(proc_schema)));
+
+  const size_t n_admissions = std::max<size_t>(
+      200, static_cast<size_t>(options.base_admissions * options.scale_factor));
+  const size_t n_patients = std::max<size_t>(100, n_admissions * 2 / 3);
+
+  // Patients: demographics; expire_flag is finalized after their admissions
+  // are generated (a hospital death forces it).
+  struct PatientState {
+    std::string gender;
+    std::string ethnicity;
+    bool died_in_hospital = false;
+    bool died_outside = false;
+  };
+  std::vector<PatientState> pstate(n_patients);
+  for (size_t p = 0; p < n_patients; ++p) {
+    pstate[p].gender = rng.Bernoulli(0.55) ? "M" : "F";
+    pstate[p].ethnicity = kEthnicity.Sample(&rng);
+    pstate[p].died_outside = rng.Bernoulli(0.12);
+  }
+
+  int64_t next_hadm = 100000;
+  int64_t next_icustay = 200000;
+  for (size_t a = 0; a < n_admissions; ++a) {
+    int64_t subject = 1 + static_cast<int64_t>(rng.NextBounded(n_patients));
+    PatientState& ps = pstate[subject - 1];
+    int64_t hadm = next_hadm++;
+
+    std::string insurance = kInsurance.Sample(&rng);
+    bool medicare = insurance == "Medicare";
+    bool priv = insurance == "Private";
+
+    // Planted correlations: Medicare -> older, emergency, higher mortality.
+    int64_t age = medicare ? rng.UniformInt(65, 92)
+                           : (priv ? rng.UniformInt(25, 70) : rng.UniformInt(18, 88));
+    double p_emergency = medicare ? 0.80 : (priv ? 0.42 : 0.55);
+    std::string admission_type;
+    if (rng.Bernoulli(p_emergency)) {
+      admission_type = "EMERGENCY";
+    } else if (age <= 1) {
+      admission_type = "NEWBORN";
+    } else {
+      admission_type = rng.Bernoulli(0.7) ? "ELECTIVE" : "URGENT";
+    }
+
+    // Primary diagnosis chapter drives mortality together with insurance.
+    const char* primary_chapter = SampleChapter(&rng);
+    double p_death = ChapterDeathRate(primary_chapter);
+    p_death *= medicare ? 1.35 : (priv ? 0.55 : (insurance == "Self Pay" ? 1.5 : 0.5));
+    if (admission_type == "EMERGENCY") p_death *= 1.25;
+    bool hospital_death = rng.Bernoulli(Clip(p_death, 0.0, 0.9));
+    if (hospital_death) ps.died_in_hospital = true;
+
+    // ICU stays: 0-2 per admission; los drives hospital stay length
+    // (Qmimic3's signal).
+    int n_icu = rng.Bernoulli(0.75) ? 1 : (rng.Bernoulli(0.2) ? 2 : 0);
+    double max_los = 0;
+    for (int i = 0; i < n_icu; ++i) {
+      // Exponential-ish length of stay, heavier for deaths.
+      double los = -2.8 * std::log(1.0 - rng.UniformDouble());
+      if (hospital_death) los *= 1.8;
+      los = Clip(los, 0.05, 60.0);
+      max_los = std::max(max_los, los);
+      const char* group = los <= 1   ? "0-1"
+                          : los <= 2 ? "1-2"
+                          : los <= 4 ? "2-4"
+                          : los <= 8 ? "4-8"
+                                     : "x>8";
+      const char* unit = kCareUnit.Sample(&rng);
+      RETURN_NOT_OK(icustays->AppendRow(
+          {Value(subject), Value(hadm), Value(next_icustay++),
+           Value(rng.Bernoulli(0.55) ? "carevue" : "metavision"), Value(unit),
+           Value(rng.Bernoulli(0.8) ? unit : kCareUnit.Sample(&rng)),
+           Value(static_cast<int64_t>(rng.UniformInt(1, 60))),
+           Value(static_cast<int64_t>(rng.UniformInt(1, 60))),
+           Value(Format("2130-%02d-%02d", (int)rng.UniformInt(1, 12),
+                        (int)rng.UniformInt(1, 28))),
+           Value(Format("2130-%02d-%02d", (int)rng.UniformInt(1, 12),
+                        (int)rng.UniformInt(1, 28))),
+           Value(los), Value(group)}));
+    }
+    // Hospital stay: base + ICU contribution (long ICU -> stay > 9 days).
+    int64_t stay = static_cast<int64_t>(std::llround(
+        Clip(1.0 + max_los * 1.4 + -3.0 * std::log(1.0 - rng.UniformDouble()),
+             1.0, 90.0)));
+
+    std::string marital =
+        rng.Bernoulli(age > 60 ? 0.62 : 0.45)
+            ? "MARRIED"
+            : (rng.Bernoulli(0.5) ? "SINGLE" : (rng.Bernoulli(0.5) ? "DIVORCED"
+                                                                   : "WIDOWED"));
+    RETURN_NOT_OK(admissions->AppendRow(
+        {Value(hadm), Value(subject),
+         Value(Format("2130-%02d-%02d", (int)rng.UniformInt(1, 12),
+                      (int)rng.UniformInt(1, 28))),
+         Value(Format("2130-%02d-%02d", (int)rng.UniformInt(1, 12),
+                      (int)rng.UniformInt(1, 28))),
+         Value(admission_type),
+         Value(admission_type == "EMERGENCY" ? "EMERGENCY ROOM ADMIT"
+                                             : kAdmissionLocation.Sample(&rng)),
+         Value(hospital_death ? "DEAD/EXPIRED" : kDischargeLocation.Sample(&rng)),
+         Value(insurance), Value(marital),
+         Value(""), Value(""), Value("free text dx"),
+         Value(static_cast<int64_t>(hospital_death ? 1 : 0)), Value(stay)}));
+
+    // Ethnicity-linked admission info (Qmimic5's signals: Hispanic skews
+    // Catholic / younger emergencies; Asian admissions skew shorter stays --
+    // realized through a stay-length resample below).
+    const std::string& eth = ps.ethnicity;
+    std::string religion;
+    if (eth == "Hispanic") {
+      religion = rng.Bernoulli(0.7) ? "Catholic" : "Not Specified";
+    } else if (eth == "White") {
+      religion = rng.Bernoulli(0.4) ? "Catholic"
+                                    : (rng.Bernoulli(0.5) ? "Protestant Quaker"
+                                                          : "Jewish");
+    } else {
+      religion = rng.Bernoulli(0.25) ? "Catholic" : "Not Specified";
+    }
+    int64_t reported_age = age;
+    if (eth == "Hispanic") reported_age = std::min<int64_t>(age, 65);
+    RETURN_NOT_OK(pai->AppendRow({Value(subject), Value(hadm), Value(reported_age),
+                                  Value(kLanguage.Sample(&rng)), Value(religion),
+                                  Value(eth)}));
+
+    // Diagnoses: primary chapter first; comorbidities cluster around it
+    // (otherwise the per-chapter death-rate signal of Qmimic1 dilutes to the
+    // global mean through the admission's unrelated diagnoses).
+    int n_diag = static_cast<int>(rng.UniformInt(4, 8));
+    for (int d = 0; d < n_diag; ++d) {
+      const char* chapter =
+          (d == 0 || rng.Bernoulli(0.4)) ? primary_chapter : SampleChapter(&rng);
+      RETURN_NOT_OK(diagnoses->AppendRow(
+          {Value(subject), Value(hadm), Value(static_cast<int64_t>(d + 1)),
+           Value(Format("%03d.%d", (int)rng.UniformInt(1, 999),
+                        (int)rng.UniformInt(0, 9))),
+           Value(chapter)}));
+    }
+    // Procedures: 1-4; chapter 16 concentrated on long ICU stays (Qmimic3).
+    int n_proc = static_cast<int>(rng.UniformInt(1, 4));
+    for (int d = 0; d < n_proc; ++d) {
+      const char* chapter;
+      if (max_los > 8 && rng.Bernoulli(0.75)) {
+        chapter = "16";
+      } else {
+        chapter = SampleChapter(&rng);
+      }
+      RETURN_NOT_OK(procedures->AppendRow(
+          {Value(subject), Value(hadm), Value(static_cast<int64_t>(d + 1)),
+           Value(Format("%02d.%d", (int)rng.UniformInt(1, 99),
+                        (int)rng.UniformInt(0, 9))),
+           Value(chapter)}));
+    }
+  }
+
+  // Patients table, with expire_flag consistent with hospital deaths.
+  for (size_t p = 0; p < n_patients; ++p) {
+    const PatientState& ps = pstate[p];
+    bool died = ps.died_in_hospital || ps.died_outside;
+    RETURN_NOT_OK(patients->AppendRow(
+        {Value(static_cast<int64_t>(p + 1)), Value(ps.gender),
+         Value(Format("20%02d-01-01", (int)rng.UniformInt(30, 99))),
+         died ? Value("2135-01-01") : Value::Null(),
+         ps.died_in_hospital ? Value("2135-01-01") : Value::Null(),
+         ps.died_outside ? Value("2135-01-01") : Value::Null(),
+         Value(static_cast<int64_t>(died ? 1 : 0))}));
+  }
+  return db;
+}
+
+Result<SchemaGraph> MakeMimicSchemaGraph(const Database& db) {
+  return SchemaGraph::FromForeignKeys(db);
+}
+
+std::string MimicQuerySql(int index) {
+  switch (index) {
+    case 1:  // Death rate by diagnosis chapter.
+      return "SELECT 1.0 * SUM(a.hospital_expire_flag) / COUNT(*) AS death_rate, "
+             "d.chapter FROM admissions a, diagnoses d "
+             "WHERE a.hadm_id = d.hadm_id GROUP BY d.chapter";
+    case 2:  // Death rate by insurance.
+    case 4:
+      return "SELECT insurance, "
+             "1.0 * SUM(hospital_expire_flag) / COUNT(*) AS death_rate "
+             "FROM admissions GROUP BY insurance";
+    case 3:  // ICU stays per length-of-stay group.
+      return "SELECT COUNT(*) AS cnt, los_group FROM icustays GROUP BY los_group";
+    case 5:  // Procedures per ethnicity.
+      return "SELECT COUNT(*) AS cnt, pai.ethnicity "
+             "FROM patients_admit_info pai, procedures p "
+             "WHERE p.hadm_id = pai.hadm_id AND p.subject_id = pai.subject_id "
+             "GROUP BY pai.ethnicity";
+    default:
+      return "";
+  }
+}
+
+}  // namespace cajade

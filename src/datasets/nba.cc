@@ -1,0 +1,653 @@
+#include "src/datasets/nba.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+namespace {
+
+constexpr int kNumSeasons = 10;
+constexpr int kGamesPerSeasonFullScale = 1230;
+
+const char* kSeasonNames[kNumSeasons] = {
+    "2009-10", "2010-11", "2011-12", "2012-13", "2013-14",
+    "2014-15", "2015-16", "2016-17", "2017-18", "2018-19"};
+
+const char* kTeams[30] = {"GSW", "CLE", "MIA", "CHI", "LAL", "SAS", "DAL", "MIN",
+                          "ATL", "BOS", "DET", "NOP", "WAS", "IND", "HOU", "OKC",
+                          "POR", "UTA", "PHX", "SAC", "LAC", "DEN", "MEM", "TOR",
+                          "PHI", "NYK", "BKN", "ORL", "CHA", "MIL"};
+
+/// GSW wins per 82-game season (paper Figure 14d).
+const double kGswWins[kNumSeasons] = {26, 36, 23, 47, 51, 67, 73, 67, 58, 57};
+
+/// GSW average assists per season (paper Figure 14b).
+const double kGswAssists[kNumSeasons] = {22.43, 22.52, 22.27, 22.50, 23.32,
+                                         27.41, 28.94, 30.38, 29.29, 29.43};
+
+/// A contiguous career stint (inclusive season indexes).
+struct Stint {
+  const char* team;
+  int first;
+  int last;
+};
+
+/// Career specification for a named player. Zeroes mean "inactive" (pts) or
+/// "use default" (salary/usage/minutes).
+struct StarSpec {
+  const char* name;
+  std::vector<Stint> stints;
+  std::array<double, kNumSeasons> pts;
+  std::array<double, kNumSeasons> salary;
+  std::array<double, kNumSeasons> usage;
+  std::array<double, kNumSeasons> minutes;
+};
+
+std::vector<StarSpec> StarSpecs() {
+  // Salary constants for Green / LeBron / Butler / Gasol are the boundary
+  // values the paper's appendix explanations report.
+  return {
+      {"Stephen Curry",
+       {{"GSW", 0, 9}},
+       {17.5, 18.6, 14.7, 21.0, 24.0, 23.8, 30.1, 25.3, 26.4, 27.3},
+       {2.7e6, 3.1e6, 3.9e6, 3.9e6, 9.9e6, 10.6e6, 11.4e6, 12.1e6, 34.7e6, 37.5e6},
+       {22, 22, 23, 26, 27, 28, 32.2, 30, 30, 30},
+       {33, 34, 32, 35, 36, 33, 34.2, 33, 34, 34}},
+      {"Klay Thompson",
+       {{"GSW", 2, 9}},
+       {0, 0, 12.5, 16.6, 18.4, 21.7, 22.1, 22.3, 20.0, 21.5},
+       {0, 0, 2.2e6, 2.3e6, 3.1e6, 15.5e6, 15.5e6, 16.6e6, 17.8e6, 19.0e6},
+       {0, 0, 19, 21, 24, 26, 26, 26, 25, 26},
+       {0, 0, 24, 35, 35, 32, 33, 34, 34, 34}},
+      {"Draymond Green",
+       {{"GSW", 3, 9}},
+       {0, 0, 0, 2.87, 6.23, 11.66, 13.96, 10.21, 11.04, 7.36},
+       {0, 0, 0, 0.85e6, 0.88e6, 0.92e6, 14260870, 15330435, 16.4e6, 17.5e6},
+       {0, 0, 0, 12, 14, 17, 20.2, 17.5, 18, 14},
+       {0, 0, 0, 13.4, 21.9, 31.5, 32.6, 29.2, 32.7, 31.3}},
+      {"LeBron James",
+       {{"CLE", 0, 0}, {"MIA", 1, 4}, {"CLE", 5, 8}, {"LAL", 9, 9}},
+       {29.71, 26.72, 27.15, 26.79, 27.13, 25.26, 25.26, 26.41, 27.45, 27.36},
+       {15.78e6, 14.5e6, 16.0e6, 17.5e6, 19.07e6, 20.6e6, 23.0e6, 31.0e6, 33.3e6,
+        35.7e6},
+       {33, 31, 32, 30, 31, 32, 31, 30, 31, 31},
+       {39, 38, 37, 37, 37, 36, 35, 37, 36, 35}},
+      {"Jimmy Butler",
+       {{"CHI", 2, 7}, {"MIN", 8, 9}},
+       {0, 0, 2.60, 8.60, 13.10, 20.02, 20.88, 23.89, 22.15, 18.69},
+       {0, 0, 0.47e6, 1.07e6, 1112880, 2008748, 16.4e6, 17.6e6, 19.8e6, 20.4e6},
+       {0, 0, 10, 14, 16.5, 21.5, 22, 25.8, 24, 22},
+       {0, 0, 8.5, 26, 38.7, 38.7, 36.9, 37, 36.5, 33.8}},
+      {"Jarrett Jack",
+       {{"NOP", 0, 2}, {"GSW", 3, 3}, {"BKN", 4, 6}},
+       {9.0, 10.5, 11.0, 12.9, 9.0, 12.0, 7.0, 0, 0, 0},
+       {4.6e6, 5.0e6, 5.2e6, 5.4e6, 6.3e6, 6.3e6, 6.3e6, 0, 0, 0},
+       {},
+       {}},
+      {"Andre Iguodala",
+       {{"DEN", 0, 3}, {"GSW", 4, 9}},
+       {17.1, 14.1, 12.4, 13.0, 9.3, 7.8, 7.0, 7.6, 6.0, 5.7},
+       {12.3e6, 13.7e6, 14.7e6, 15.0e6, 12.3e6, 11.7e6, 11.1e6, 11.1e6, 14.8e6,
+        16.0e6},
+       {},
+       {32, 33, 34, 34, 32, 26, 26.6, 26.3, 25.3, 23.2}},
+      {"Harrison Barnes",
+       {{"GSW", 3, 6}, {"DAL", 7, 9}},
+       {0, 0, 0, 9.2, 9.5, 10.1, 11.7, 19.2, 18.9, 17.6},
+       {0, 0, 0, 2.9e6, 3.0e6, 3.2e6, 3.9e6, 22.1e6, 23.1e6, 24.1e6},
+       {},
+       {}},
+      {"Pau Gasol",
+       {{"LAL", 0, 4}, {"CHI", 5, 6}, {"SAS", 7, 9}},
+       {18.3, 18.8, 17.4, 13.7, 17.4, 18.5, 16.5, 12.4, 10.1, 4.2},
+       // 2012-13 salary is exactly the appendix boundary 19285850.
+       {16.5e6, 17.8e6, 18.7e6, 19285850, 19.3e6, 7.1e6, 7.4e6, 15.5e6, 16.8e6,
+        16.8e6},
+       {},
+       {}},
+      {"Shaun Livingston",
+       {{"GSW", 5, 9}},
+       {0, 0, 0, 0, 0, 5.9, 6.3, 5.1, 5.5, 4.0},
+       {0, 0, 0, 0, 0, 5.3e6, 5.5e6, 5.8e6, 7.7e6, 7.7e6},
+       {},
+       {}},
+      {"Marreese Speights",
+       {{"GSW", 4, 6}},
+       {0, 0, 0, 0, 6.4, 10.4, 7.1, 0, 0, 0},
+       {0, 0, 0, 0, 3.5e6, 3.7e6, 3.8e6, 0, 0, 0},
+       {},
+       {}},
+      {"David Lee",
+       {{"GSW", 1, 6}},
+       {0, 16.5, 20.1, 18.5, 18.2, 7.9, 7.8, 0, 0, 0},
+       {0, 11.6e6, 12.7e6, 13.8e6, 14.9e6, 15.0e6, 15.4e6, 0, 0, 0},
+       {},
+       {}},
+      {"Monta Ellis",
+       {{"GSW", 0, 2}, {"MIL", 3, 4}, {"DAL", 5, 6}, {"IND", 7, 8}},
+       {25.5, 24.1, 21.9, 19.2, 19.0, 18.9, 13.8, 8.5, 11.8, 0},
+       {11.0e6, 11.0e6, 11.0e6, 11.0e6, 8.0e6, 8.36e6, 8.72e6, 10.3e6, 11.0e6, 0},
+       {},
+       {}},
+      {"Gal Mekel",
+       {{"DAL", 4, 5}},
+       {0, 0, 0, 0, 2.4, 2.0, 0, 0, 0, 0},
+       {0, 0, 0, 0, 0.49e6, 0.72e6, 0, 0, 0, 0},
+       {},
+       {}},
+      {"Mike Muscala",
+       {{"ATL", 4, 9}},
+       {0, 0, 0, 0, 3.8, 3.9, 6.0, 6.2, 7.6, 5.8},
+       {0, 0, 0, 0, 0.49e6, 0.81e6, 0.95e6, 1.02e6, 5.0e6, 5.0e6},
+       {},
+       {}},
+      {"Robert Sacre",
+       {{"LAL", 3, 7}},
+       {0, 0, 0, 1.3, 2.2, 3.2, 4.1, 1.1, 0, 0},
+       {0, 0, 0, 0.47e6, 0.79e6, 0.92e6, 0.98e6, 1.0e6, 0, 0},
+       {},
+       {}},
+      {"Evan Turner",
+       {{"PHI", 0, 3}, {"BOS", 4, 5}, {"POR", 6, 9}},
+       {8.2, 7.2, 9.4, 13.3, 9.5, 10.5, 9.0, 9.2, 8.2, 6.8},
+       {2.3e6, 5.3e6, 5.7e6, 6.1e6, 6.7e6, 3.4e6, 16.4e6, 17.1e6, 17.9e6, 18.6e6},
+       {},
+       {}},
+  };
+}
+
+/// Dates are yyyymmdd int64 values, mining-excluded.
+int64_t MakeDate(int year, int month, int day) {
+  return static_cast<int64_t>(year) * 10000 + month * 100 + day;
+}
+
+double Clip(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+
+}  // namespace
+
+Result<Database> MakeNbaDatabase(const NbaOptions& options) {
+  Database db;
+  Rng rng(options.seed);
+  const double sf = options.scale_factor;
+
+  // ---- season --------------------------------------------------------------
+  Schema season_schema({{"season_id", DataType::kInt64, true},
+                        {"season_name", DataType::kString},
+                        {"season_type", DataType::kString}});
+  season_schema.SetPrimaryKey({"season_id"});
+  ASSIGN_OR_RETURN(TablePtr season, db.CreateTable("season", std::move(season_schema)));
+  // ids: 1..10 regular season, 11..20 playoffs (same names).
+  for (int s = 0; s < kNumSeasons; ++s) {
+    RETURN_NOT_OK(season->AppendRow({Value(int64_t{s + 1}),
+                                     Value(kSeasonNames[s]),
+                                     Value("regular season")}));
+  }
+  for (int s = 0; s < kNumSeasons; ++s) {
+    RETURN_NOT_OK(season->AppendRow({Value(int64_t{s + 11}),
+                                     Value(kSeasonNames[s]),
+                                     Value("playoffs")}));
+  }
+
+  // ---- team ------------------------------------------------------------
+  Schema team_schema({{"team_id", DataType::kInt64, true},
+                      {"team", DataType::kString}});
+  team_schema.SetPrimaryKey({"team_id"});
+  ASSIGN_OR_RETURN(TablePtr team, db.CreateTable("team", std::move(team_schema)));
+  std::map<std::string, int64_t> team_id;
+  for (int t = 0; t < 30; ++t) {
+    team_id[kTeams[t]] = t + 1;
+    RETURN_NOT_OK(team->AppendRow({Value(int64_t{t + 1}), Value(kTeams[t])}));
+  }
+
+  // ---- player ----------------------------------------------------------
+  Schema player_schema({{"player_id", DataType::kInt64, true},
+                        {"player_name", DataType::kString}});
+  player_schema.SetPrimaryKey({"player_id"});
+  ASSIGN_OR_RETURN(TablePtr player, db.CreateTable("player", std::move(player_schema)));
+
+  // Career data: per player, per season, the team (empty = inactive) plus
+  // per-season stats for the stars.
+  struct Career {
+    int64_t id;
+    std::string name;
+    std::array<std::string, kNumSeasons> team;
+    std::array<double, kNumSeasons> pts{};
+    std::array<double, kNumSeasons> salary{};
+    std::array<double, kNumSeasons> usage{};
+    std::array<double, kNumSeasons> minutes{};
+  };
+  std::vector<Career> careers;
+  int64_t next_player_id = 1;
+  for (const auto& spec : StarSpecs()) {
+    Career c;
+    c.id = next_player_id++;
+    c.name = spec.name;
+    for (const auto& stint : spec.stints) {
+      for (int s = stint.first; s <= stint.last; ++s) c.team[s] = stint.team;
+    }
+    c.pts = spec.pts;
+    c.salary = spec.salary;
+    c.usage = spec.usage;
+    c.minutes = spec.minutes;
+    careers.push_back(std::move(c));
+  }
+  // Filler players: 12 per team, with ~10% season-to-season churn.
+  for (int t = 0; t < 30; ++t) {
+    for (int k = 0; k < 12; ++k) {
+      Career c;
+      c.id = next_player_id++;
+      c.name = Format("%s Player%02d", kTeams[t], k + 1);
+      std::string current = kTeams[t];
+      double base_pts = Clip(rng.Normal(9.0, 4.0), 2.0, 24.0);
+      double base_salary = Clip(rng.Normal(5e6, 4e6), 0.5e6, 2.4e7);
+      for (int s = 0; s < kNumSeasons; ++s) {
+        if (s > 0 && rng.Bernoulli(0.1)) {
+          current = kTeams[rng.NextBounded(30)];
+        }
+        c.team[s] = current;
+        c.pts[s] = Clip(base_pts + rng.Normal(0, 1.5), 1.0, 28.0);
+        c.salary[s] = Clip(base_salary * (1.0 + 0.05 * s) + rng.Normal(0, 3e5),
+                           4.7e5, 4e7);
+      }
+      careers.push_back(std::move(c));
+    }
+  }
+  for (const auto& c : careers) {
+    RETURN_NOT_OK(player->AppendRow({Value(c.id), Value(c.name)}));
+  }
+
+  // Roster index: (team, season) -> player positions in `careers`.
+  std::map<std::pair<std::string, int>, std::vector<int>> roster;
+  for (size_t i = 0; i < careers.size(); ++i) {
+    for (int s = 0; s < kNumSeasons; ++s) {
+      if (!careers[i].team[s].empty()) {
+        roster[{careers[i].team[s], s}].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // ---- player_salary -----------------------------------------------------
+  Schema salary_schema({{"player_id", DataType::kInt64, true},
+                        {"season_id", DataType::kInt64, true},
+                        {"salary", DataType::kDouble}});
+  salary_schema.SetPrimaryKey({"player_id", "season_id"});
+  salary_schema.AddForeignKey({{"player_id"}, "player", {"player_id"}});
+  salary_schema.AddForeignKey({{"season_id"}, "season", {"season_id"}});
+  ASSIGN_OR_RETURN(TablePtr salary,
+                   db.CreateTable("player_salary", std::move(salary_schema)));
+  for (const auto& c : careers) {
+    for (int s = 0; s < kNumSeasons; ++s) {
+      if (c.team[s].empty()) continue;
+      double v = c.salary[s] > 0 ? c.salary[s] : 3e6;
+      RETURN_NOT_OK(salary->AppendRow(
+          {Value(c.id), Value(int64_t{s + 1}), Value(v)}));
+    }
+  }
+
+  // ---- play_for ----------------------------------------------------------
+  Schema playfor_schema({{"player_id", DataType::kInt64, true},
+                         {"team_id", DataType::kInt64, true},
+                         {"date_start", DataType::kString},
+                         {"date_end", DataType::kString}});
+  playfor_schema.SetPrimaryKey({"player_id", "team_id", "date_start"});
+  playfor_schema.AddForeignKey({{"player_id"}, "player", {"player_id"}});
+  playfor_schema.AddForeignKey({{"team_id"}, "team", {"team_id"}});
+  ASSIGN_OR_RETURN(TablePtr play_for,
+                   db.CreateTable("play_for", std::move(playfor_schema)));
+  for (const auto& c : careers) {
+    int s = 0;
+    while (s < kNumSeasons) {
+      if (c.team[s].empty()) {
+        ++s;
+        continue;
+      }
+      int first = s;
+      while (s + 1 < kNumSeasons && c.team[s + 1] == c.team[first]) ++s;
+      std::string start = Format("%d-07-01", 2009 + first);
+      // Active careers in the final season end at the appendix's constant.
+      std::string end =
+          s == kNumSeasons - 1 ? "2019-04-09" : Format("%d-04-12", 2009 + s + 1);
+      RETURN_NOT_OK(play_for->AppendRow({Value(c.id),
+                                         Value(team_id[c.team[first]]),
+                                         Value(start), Value(end)}));
+      ++s;
+    }
+  }
+
+  // ---- lineup / lineup_player ---------------------------------------------
+  Schema lineup_schema({{"lineup_id", DataType::kInt64, true},
+                        {"team_id", DataType::kInt64, true}});
+  lineup_schema.SetPrimaryKey({"lineup_id"});
+  lineup_schema.AddForeignKey({{"team_id"}, "team", {"team_id"}});
+  ASSIGN_OR_RETURN(TablePtr lineup, db.CreateTable("lineup", std::move(lineup_schema)));
+
+  Schema lp_schema({{"lineup_id", DataType::kInt64, true},
+                    {"player_id", DataType::kInt64, true}});
+  lp_schema.SetPrimaryKey({"lineup_id", "player_id"});
+  lp_schema.AddForeignKey({{"lineup_id"}, "lineup", {"lineup_id"}});
+  lp_schema.AddForeignKey({{"player_id"}, "player", {"player_id"}});
+  ASSIGN_OR_RETURN(TablePtr lineup_player,
+                   db.CreateTable("lineup_player", std::move(lp_schema)));
+
+  std::map<std::string, std::vector<int64_t>> team_lineups;
+  int64_t next_lineup_id = 1;
+  for (int t = 0; t < 30; ++t) {
+    // Build lineups from the team's season-6 (2015-16) roster; stable across
+    // seasons as an approximation.
+    const auto& members = roster[{kTeams[t], 6}];
+    if (members.size() < 5) continue;
+    for (int l = 0; l < 8; ++l) {
+      int64_t lid = next_lineup_id++;
+      team_lineups[kTeams[t]].push_back(lid);
+      RETURN_NOT_OK(lineup->AppendRow({Value(lid), Value(team_id[kTeams[t]])}));
+      auto idx = rng.SampleIndices(members.size(), 5);
+      for (size_t m : idx) {
+        RETURN_NOT_OK(lineup_player->AppendRow(
+            {Value(lid), Value(careers[members[m]].id)}));
+      }
+    }
+  }
+
+  // ---- game + stats tables -------------------------------------------------
+  Schema game_schema({{"game_date", DataType::kInt64, true},
+                      {"home_id", DataType::kInt64, true},
+                      {"away_id", DataType::kInt64, true},
+                      {"home_points", DataType::kInt64},
+                      {"away_points", DataType::kInt64},
+                      {"home_possessions", DataType::kInt64},
+                      {"away_possessions", DataType::kInt64},
+                      {"winner_id", DataType::kInt64, true},
+                      {"season_id", DataType::kInt64, true}});
+  game_schema.SetPrimaryKey({"game_date", "home_id"});
+  game_schema.AddForeignKey({{"home_id"}, "team", {"team_id"}});
+  game_schema.AddForeignKey({{"away_id"}, "team", {"team_id"}});
+  game_schema.AddForeignKey({{"winner_id"}, "team", {"team_id"}});
+  game_schema.AddForeignKey({{"season_id"}, "season", {"season_id"}});
+  ASSIGN_OR_RETURN(TablePtr game, db.CreateTable("game", std::move(game_schema)));
+
+  Schema tgs_schema({{"game_date", DataType::kInt64, true},
+                     {"home_id", DataType::kInt64, true},
+                     {"team_id", DataType::kInt64, true},
+                     {"points", DataType::kInt64},
+                     {"offposs", DataType::kInt64},
+                     {"fg_two_m", DataType::kInt64},
+                     {"fg_two_a", DataType::kInt64},
+                     {"fg_two_pct", DataType::kDouble},
+                     {"fg_three_m", DataType::kInt64},
+                     {"fg_three_a", DataType::kInt64},
+                     {"fg_three_pct", DataType::kDouble},
+                     {"fg_three_apct", DataType::kDouble},
+                     {"assists", DataType::kInt64},
+                     {"assistpoints", DataType::kInt64},
+                     {"two_ptassists", DataType::kInt64},
+                     {"three_ptassists", DataType::kInt64},
+                     {"rebounds", DataType::kInt64},
+                     {"defrebounds", DataType::kInt64},
+                     {"offrebounds", DataType::kInt64},
+                     {"ftpoints", DataType::kInt64},
+                     {"efgpct", DataType::kDouble},
+                     {"tspct", DataType::kDouble},
+                     {"shotqualityavg", DataType::kDouble},
+                     {"assisted_two_spct", DataType::kDouble},
+                     {"assisted_three_spct", DataType::kDouble},
+                     {"nonputbacksassisted_two_spct", DataType::kDouble},
+                     {"offatrimreboundpct", DataType::kDouble},
+                     {"deflongmidrangereboundpct", DataType::kDouble}});
+  tgs_schema.SetPrimaryKey({"game_date", "home_id", "team_id"});
+  tgs_schema.AddForeignKey({{"game_date", "home_id"}, "game", {"game_date", "home_id"}});
+  tgs_schema.AddForeignKey({{"team_id"}, "team", {"team_id"}});
+  ASSIGN_OR_RETURN(TablePtr tgs,
+                   db.CreateTable("team_game_stats", std::move(tgs_schema)));
+
+  Schema pgs_schema({{"game_date", DataType::kInt64, true},
+                     {"home_id", DataType::kInt64, true},
+                     {"player_id", DataType::kInt64, true},
+                     {"points", DataType::kInt64},
+                     {"minutes", DataType::kDouble},
+                     {"usage", DataType::kDouble},
+                     {"tspct", DataType::kDouble},
+                     {"efgpct", DataType::kDouble},
+                     {"assists", DataType::kInt64},
+                     {"assistpoints", DataType::kInt64},
+                     {"rebounds", DataType::kInt64},
+                     {"fg_two_m", DataType::kInt64},
+                     {"fg_three_m", DataType::kInt64},
+                     {"fg_three_apct", DataType::kDouble},
+                     {"ftpoints", DataType::kInt64},
+                     {"shotqualityavg", DataType::kDouble},
+                     {"assisted_two_spct", DataType::kDouble},
+                     {"def_three_ptreboundpct", DataType::kDouble},
+                     {"deflongmidrangereboundpct", DataType::kDouble},
+                     {"offatrimreboundpct", DataType::kDouble}});
+  pgs_schema.SetPrimaryKey({"game_date", "home_id", "player_id"});
+  pgs_schema.AddForeignKey({{"game_date", "home_id"}, "game", {"game_date", "home_id"}});
+  pgs_schema.AddForeignKey({{"player_id"}, "player", {"player_id"}});
+  ASSIGN_OR_RETURN(TablePtr pgs,
+                   db.CreateTable("player_game_stats", std::move(pgs_schema)));
+
+  Schema lgs_schema({{"game_date", DataType::kInt64, true},
+                     {"home_id", DataType::kInt64, true},
+                     {"lineup_id", DataType::kInt64, true},
+                     {"mp", DataType::kDouble},
+                     {"tmposs", DataType::kInt64},
+                     {"oppo_tmposs", DataType::kInt64}});
+  lgs_schema.SetPrimaryKey({"game_date", "home_id", "lineup_id"});
+  lgs_schema.AddForeignKey({{"game_date", "home_id"}, "game", {"game_date", "home_id"}});
+  lgs_schema.AddForeignKey({{"lineup_id"}, "lineup", {"lineup_id"}});
+  ASSIGN_OR_RETURN(TablePtr lgs,
+                   db.CreateTable("lineup_game_stats", std::move(lgs_schema)));
+
+  // Per-(team, season) strengths and assist means.
+  auto strength = [&](const std::string& t, int s) {
+    if (t == "GSW") return kGswWins[s] / 82.0;
+    if (t == "CLE") return (s == 0 || (s >= 5 && s <= 8)) ? 0.62 : 0.40;
+    if (t == "MIA") return (s >= 1 && s <= 4) ? 0.66 : 0.48;
+    // Deterministic per-(team, season) pseudo-strength.
+    Rng local(options.seed ^ (std::hash<std::string>()(t) + s * 1315423911ULL));
+    return 0.38 + 0.24 * local.UniformDouble();
+  };
+  auto team_assists_mean = [&](const std::string& t, int s) {
+    if (t == "GSW") return kGswAssists[s];
+    Rng local(options.seed ^ (std::hash<std::string>()(t) * 31 + s));
+    return 20.5 + 3.0 * local.UniformDouble();
+  };
+
+  const int games_per_season = std::max(
+      30, static_cast<int>(std::llround(kGamesPerSeasonFullScale * sf)));
+
+  for (int s = 0; s < kNumSeasons; ++s) {
+    for (int g = 0; g < games_per_season; ++g) {
+      int hi = g % 30;
+      int ai = (hi + 1 + static_cast<int>(rng.NextBounded(29))) % 30;
+      const std::string home = kTeams[hi];
+      const std::string away = kTeams[ai];
+      int month_slot = (g * 7) % 170;  // spread over Oct..Apr
+      int month = 10 + month_slot / 28;
+      int year = 2009 + s;
+      if (month > 12) {
+        month -= 12;
+        year += 1;
+      }
+      int day = 1 + month_slot % 28;
+      int64_t date = MakeDate(year, month, day);
+      bool playoffs = month == 4 && rng.Bernoulli(0.5);
+      int64_t season_id = playoffs ? s + 11 : s + 1;
+
+      double p_home = Clip(0.54 + (strength(home, s) - strength(away, s)), 0.05, 0.95);
+      bool home_wins = rng.Bernoulli(p_home);
+      const std::string& winner = home_wins ? home : away;
+      int64_t w_pts = rng.UniformInt(104, 126);
+      int64_t l_pts = rng.UniformInt(86, 103);
+      int64_t home_pts = home_wins ? w_pts : l_pts;
+      int64_t away_pts = home_wins ? l_pts : w_pts;
+      int64_t home_poss = rng.UniformInt(92, 108);
+      int64_t away_poss = rng.UniformInt(92, 108);
+      RETURN_NOT_OK(game->AppendRow(
+          {Value(date), Value(team_id[home]), Value(team_id[away]),
+           Value(home_pts), Value(away_pts), Value(home_poss), Value(away_poss),
+           Value(team_id[winner]), Value(season_id)}));
+
+      for (int side = 0; side < 2; ++side) {
+        const std::string& t = side == 0 ? home : away;
+        int64_t pts = side == 0 ? home_pts : away_pts;
+        int64_t poss = side == 0 ? home_poss : away_poss;
+        // Team game stats with internally consistent correlations:
+        // assistpoints is causally derived from assists (Qnba2's finding).
+        double amean = team_assists_mean(t, s);
+        int64_t assists = static_cast<int64_t>(
+            std::llround(Clip(rng.Normal(amean, 3.0), 10, 42)));
+        int64_t assistpoints =
+            static_cast<int64_t>(std::llround(assists * 2.35 + rng.Normal(0, 2)));
+        double three_base = (t == "GSW" && s >= 5) ? 0.385 : 0.345;
+        double fg3pct = Clip(rng.Normal(three_base, 0.045), 0.18, 0.55);
+        int64_t fg3a = rng.UniformInt(18, 40);
+        int64_t fg3m = static_cast<int64_t>(std::llround(fg3a * fg3pct));
+        int64_t fg2a = rng.UniformInt(45, 70);
+        double fg2pct = Clip(rng.Normal(0.49, 0.05), 0.3, 0.65);
+        int64_t fg2m = static_cast<int64_t>(std::llround(fg2a * fg2pct));
+        int64_t ftpoints = pts - 2 * fg2m - 3 * fg3m;
+        if (ftpoints < 0) ftpoints = rng.UniformInt(8, 20);
+        double efg = Clip((fg2m + 1.5 * fg3m) / std::max<double>(fg2a + fg3a, 1), 0.3, 0.75);
+        double tsp = Clip(efg + rng.Normal(0.03, 0.01), 0.3, 0.8);
+        int64_t rebounds = rng.UniformInt(35, 56);
+        int64_t defreb = static_cast<int64_t>(rebounds * 0.72);
+        int64_t offreb = rebounds - defreb;
+        int64_t two_ast = static_cast<int64_t>(assists * 0.6);
+        int64_t three_ast = assists - two_ast;
+        RETURN_NOT_OK(tgs->AppendRow(
+            {Value(date), Value(team_id[home]), Value(team_id[t]), Value(pts),
+             Value(poss), Value(fg2m), Value(fg2a), Value(fg2pct), Value(fg3m),
+             Value(fg3a), Value(fg3pct),
+             Value(Clip(fg3pct + rng.Normal(0, 0.02), 0.1, 0.6)),
+             Value(assists), Value(assistpoints), Value(two_ast),
+             Value(three_ast), Value(rebounds), Value(defreb), Value(offreb),
+             Value(ftpoints), Value(efg), Value(tsp),
+             Value(Clip(rng.Normal(0.48, 0.03), 0.3, 0.65)),
+             Value(Clip(rng.Normal(0.55, 0.1), 0.1, 1.0)),
+             Value(Clip(rng.Normal(0.7, 0.12), 0.1, 1.0)),
+             Value(Clip(rng.Normal(0.55, 0.1), 0.1, 1.0)),
+             Value(Clip(rng.Normal(0.3, 0.08), 0.05, 0.7)),
+             Value(Clip(rng.Normal(0.2, 0.08), 0.0, 0.6))}));
+
+        // Player game stats: all rostered stars plus filler to the cap.
+        const auto& members = roster.count({t, s}) ? roster[{t, s}] : std::vector<int>{};
+        std::vector<int> dressed;
+        for (int m : members) {
+          if (careers[m].pts[s] > 0 && careers[m].salary[s] > 0 &&
+              dressed.size() <
+                  static_cast<size_t>(options.players_per_game)) {
+            dressed.push_back(m);
+          }
+        }
+        for (int m : members) {
+          if (dressed.size() >= static_cast<size_t>(options.players_per_game)) break;
+          if (std::find(dressed.begin(), dressed.end(), m) == dressed.end()) {
+            dressed.push_back(m);
+          }
+        }
+        for (int m : dressed) {
+          const Career& c = careers[m];
+          double mean_pts = c.pts[s] > 0 ? c.pts[s] : 7.0;
+          int64_t p = static_cast<int64_t>(
+              std::llround(Clip(rng.Normal(mean_pts, 4.5), 0, 55)));
+          double mean_min = c.minutes[s] > 0 ? c.minutes[s] : 22.0;
+          double minutes = Clip(rng.Normal(mean_min, 4.0), 4, 46);
+          double mean_usage = c.usage[s] > 0 ? c.usage[s] : 17.0;
+          double usage = Clip(rng.Normal(mean_usage, 2.5), 5, 40);
+          double tspct = Clip(0.40 + 0.006 * static_cast<double>(p) +
+                                  rng.Normal(0, 0.05),
+                              0.2, 0.85);
+          int64_t ast = rng.UniformInt(0, 9);
+          RETURN_NOT_OK(pgs->AppendRow(
+              {Value(date), Value(team_id[home]), Value(c.id), Value(p),
+               Value(minutes), Value(usage), Value(tspct),
+               Value(Clip(tspct - 0.03 + rng.Normal(0, 0.02), 0.15, 0.8)),
+               Value(ast), Value(ast * 2 + rng.UniformInt(0, 4)),
+               Value(rng.UniformInt(0, 12)),
+               Value(static_cast<int64_t>(p * 0.3)),
+               Value(static_cast<int64_t>(p * 0.12)),
+               Value(Clip(rng.Normal(0.35, 0.1), 0.0, 0.8)),
+               Value(rng.UniformInt(0, 8)),
+               Value(Clip(rng.Normal(0.48, 0.04), 0.3, 0.65)),
+               Value(Clip(rng.Normal(0.5, 0.15), 0.0, 1.0)),
+               Value(Clip(rng.Normal(0.2, 0.08), 0.0, 0.6)),
+               Value(Clip(rng.Normal(0.15, 0.07), 0.0, 0.5)),
+               Value(Clip(rng.Normal(0.25, 0.1), 0.0, 0.7))}));
+        }
+
+        // Lineup game stats.
+        const auto& lids = team_lineups[t];
+        if (!lids.empty()) {
+          for (int l = 0; l < options.lineups_per_game &&
+               l < static_cast<int>(lids.size()); ++l) {
+            int64_t lid = lids[(g + l) % lids.size()];
+            RETURN_NOT_OK(lgs->AppendRow(
+                {Value(date), Value(team_id[home]), Value(lid),
+                 Value(Clip(rng.Normal(12.0, 6.0), 1.0, 34.0)),
+                 Value(rng.UniformInt(20, 60)), Value(rng.UniformInt(20, 60))}));
+          }
+        }
+      }
+    }
+  }
+  return db;
+}
+
+Result<SchemaGraph> MakeNbaSchemaGraph(const Database& db) {
+  ASSIGN_OR_RETURN(SchemaGraph graph, SchemaGraph::FromForeignKeys(db));
+  // Winner-side join variants (Figure 3's second condition).
+  RETURN_NOT_OK(graph.AddCondition(
+      "team_game_stats", "game",
+      {{{"game_date", "game_date"}, {"home_id", "home_id"}, {"team_id", "winner_id"}}}));
+  // Lineup pairs (the self-join from the introduction's Omega_2).
+  RETURN_NOT_OK(graph.AddCondition("lineup_player", "lineup_player",
+                                   {{{"lineup_id", "lineup_id"}}}));
+  // Lineup stats to membership.
+  RETURN_NOT_OK(graph.AddCondition("lineup_game_stats", "lineup_player",
+                                   {{{"lineup_id", "lineup_id"}}}));
+  return graph;
+}
+
+std::string NbaQuerySql(int index) {
+  switch (index) {
+    case 1:  // Draymond Green's average points per season.
+      return "SELECT AVG(points) AS avg_pts, s.season_name "
+             "FROM player p, player_game_stats pgs, game g, season s "
+             "WHERE p.player_id = pgs.player_id AND g.game_date = pgs.game_date "
+             "AND g.home_id = pgs.home_id AND s.season_id = g.season_id "
+             "AND p.player_name = 'Draymond Green' GROUP BY s.season_name";
+    case 2:  // GSW average assists per season.
+      return "SELECT AVG(tgs.assists) AS avg_ast, s.season_name "
+             "FROM team_game_stats tgs, game g, team t, season s "
+             "WHERE s.season_id = g.season_id AND tgs.game_date = g.game_date "
+             "AND tgs.home_id = g.home_id AND tgs.team_id = t.team_id "
+             "AND t.team = 'GSW' GROUP BY s.season_name";
+    case 3:  // LeBron James's average points per season.
+      return "SELECT AVG(points) AS avg_pts, s.season_name "
+             "FROM player p, player_game_stats pgs, game g, season s "
+             "WHERE p.player_id = pgs.player_id AND g.game_date = pgs.game_date "
+             "AND g.home_id = pgs.home_id AND s.season_id = g.season_id "
+             "AND p.player_name = 'LeBron James' GROUP BY s.season_name";
+    case 4:  // GSW wins per season.
+      return "SELECT COUNT(*) AS win, s.season_name "
+             "FROM team t, game g, season s "
+             "WHERE t.team_id = g.winner_id AND g.season_id = s.season_id "
+             "AND t.team = 'GSW' GROUP BY s.season_name";
+    case 5:  // Jimmy Butler's average points per season.
+      return "SELECT AVG(points) AS avg_pts, s.season_name "
+             "FROM player p, player_game_stats pgs, game g, season s "
+             "WHERE p.player_id = pgs.player_id AND g.game_date = pgs.game_date "
+             "AND g.home_id = pgs.home_id AND s.season_id = g.season_id "
+             "AND p.player_name = 'Jimmy Butler' GROUP BY s.season_name";
+    default:
+      return "";
+  }
+}
+
+}  // namespace cajade

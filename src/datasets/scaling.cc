@@ -1,0 +1,73 @@
+#include "src/datasets/scaling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace cajade {
+
+Result<Database> DownsampleDatabase(const Database& db, double fraction,
+                                    const std::vector<std::string>& fact_tables,
+                                    uint64_t seed) {
+  Database out;
+  std::unordered_set<std::string> facts(fact_tables.begin(), fact_tables.end());
+  Rng rng(seed);
+  for (const auto& name : db.table_names()) {
+    ASSIGN_OR_RETURN(TablePtr src, db.GetTable(name));
+    Schema schema = src->schema();
+    auto dst = std::make_shared<Table>(name, std::move(schema));
+    if (facts.count(name) == 0) {
+      for (size_t r = 0; r < src->num_rows(); ++r) dst->AppendRowFrom(*src, r);
+    } else {
+      Rng table_rng = rng.Fork();
+      for (size_t r = 0; r < src->num_rows(); ++r) {
+        if (table_rng.Bernoulli(fraction)) dst->AppendRowFrom(*src, r);
+      }
+    }
+    RETURN_NOT_OK(out.AddTable(std::move(dst)));
+  }
+  return out;
+}
+
+Result<Database> ScaleUpDatabase(const Database& db, int factor,
+                                 const std::vector<std::string>& shift_columns,
+                                 int64_t key_stride) {
+  if (factor < 1) {
+    return Status::InvalidArgument("scale-up factor must be >= 1");
+  }
+  std::unordered_set<std::string> shift(shift_columns.begin(),
+                                        shift_columns.end());
+  Database out;
+  for (const auto& name : db.table_names()) {
+    ASSIGN_OR_RETURN(TablePtr src, db.GetTable(name));
+    Schema schema = src->schema();
+    auto dst = std::make_shared<Table>(name, std::move(schema));
+    dst->Reserve(src->num_rows() * factor);
+    std::vector<bool> shifted(src->num_columns(), false);
+    for (size_t c = 0; c < src->num_columns(); ++c) {
+      shifted[c] = shift.count(src->schema().column(c).name) > 0 &&
+                   src->schema().column(c).type == DataType::kInt64;
+    }
+    for (int copy = 0; copy < factor; ++copy) {
+      int64_t offset = static_cast<int64_t>(copy) * key_stride;
+      for (size_t r = 0; r < src->num_rows(); ++r) {
+        std::vector<Value> row;
+        row.reserve(src->num_columns());
+        for (size_t c = 0; c < src->num_columns(); ++c) {
+          Value v = src->GetValue(r, c);
+          if (shifted[c] && !v.is_null()) {
+            row.push_back(Value(v.AsInt() + offset));
+          } else {
+            row.push_back(std::move(v));
+          }
+        }
+        RETURN_NOT_OK(dst->AppendRow(row));
+      }
+    }
+    RETURN_NOT_OK(out.AddTable(std::move(dst)));
+  }
+  return out;
+}
+
+}  // namespace cajade

@@ -1,0 +1,32 @@
+// Database scaling per the paper's Section 5 methodology: down-sampling
+// preserves relative table sizes and join-result sizes; up-scaling
+// duplicates rows while suffixing primary-key (and selected) columns so
+// constraints hold and join results scale proportionally.
+
+#ifndef CAJADE_DATASETS_SCALING_H_
+#define CAJADE_DATASETS_SCALING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// Keeps `fraction` of the rows of each listed table (seeded, row-level
+/// Bernoulli). Tables not listed are kept whole (dimension tables).
+Result<Database> DownsampleDatabase(const Database& db, double fraction,
+                                    const std::vector<std::string>& fact_tables,
+                                    uint64_t seed = 99);
+
+/// Duplicates every table `factor` times. Integer columns named in
+/// `shift_columns` (typically keys) are shifted by copy * `key_stride` so
+/// copies do not collide and join fan-outs are preserved.
+Result<Database> ScaleUpDatabase(const Database& db, int factor,
+                                 const std::vector<std::string>& shift_columns,
+                                 int64_t key_stride = 100000000);
+
+}  // namespace cajade
+
+#endif  // CAJADE_DATASETS_SCALING_H_

@@ -1,0 +1,198 @@
+#include "src/exec/evaluator.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+void BindScope::AddColumn(const std::string& qualifier, const std::string& name,
+                          int rel, int col) {
+  Entry e{rel, col};
+  if (!qualifier.empty()) {
+    qualified_.emplace(qualifier + "." + name, e);
+  }
+  unqualified_[name].push_back(e);
+}
+
+BindScope BindScope::ForTable(const Table& table, const std::string& alias) {
+  BindScope scope;
+  for (size_t i = 0; i < table.schema().num_columns(); ++i) {
+    const std::string& name = table.schema().column(i).name;
+    auto dot = name.find('.');
+    if (dot != std::string::npos) {
+      // Working-table column "alias.column".
+      scope.AddColumn(name.substr(0, dot), name.substr(dot + 1), 0,
+                      static_cast<int>(i));
+    } else {
+      scope.AddColumn(alias, name, 0, static_cast<int>(i));
+    }
+    // The full name always resolves too (e.g. prov_game_winner).
+    if (!name.empty()) {
+      scope.unqualified_[name].push_back({0, static_cast<int>(i)});
+    }
+  }
+  return scope;
+}
+
+Result<std::pair<int, int>> BindScope::Resolve(const std::string& qualifier,
+                                               const std::string& name) const {
+  if (!qualifier.empty()) {
+    auto it = qualified_.find(qualifier + "." + name);
+    if (it == qualified_.end()) {
+      return Status::BindError(
+          Format("unknown column '%s.%s'", qualifier.c_str(), name.c_str()));
+    }
+    return std::make_pair(it->second.rel, it->second.col);
+  }
+  auto it = unqualified_.find(name);
+  if (it == unqualified_.end() || it->second.empty()) {
+    return Status::BindError(Format("unknown column '%s'", name.c_str()));
+  }
+  const Entry& first = it->second.front();
+  for (const Entry& e : it->second) {
+    if (e.rel != first.rel || e.col != first.col) {
+      return Status::BindError(Format("ambiguous column '%s'", name.c_str()));
+    }
+  }
+  return std::make_pair(first.rel, first.col);
+}
+
+Status BindExpr(Expr* e, const BindScope& scope) {
+  if (e == nullptr) return Status::OK();
+  switch (e->kind) {
+    case ExprKind::kColumnRef: {
+      ASSIGN_OR_RETURN(auto loc, scope.Resolve(e->table, e->column));
+      e->bound_alias = loc.first;
+      e->bound_index = loc.second;
+      return Status::OK();
+    }
+    case ExprKind::kBinary:
+      RETURN_NOT_OK(BindExpr(e->left.get(), scope));
+      return BindExpr(e->right.get(), scope);
+    case ExprKind::kAggregate:
+      return BindExpr(e->arg.get(), scope);
+    case ExprKind::kLiteral:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+bool IsTruthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_int()) return v.AsInt() != 0;
+  if (v.is_double()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& e, const RowContext& ctx,
+                         const std::unordered_map<const Expr*, Value>* aggs) {
+  // Logical operators get short-circuit + null-as-false semantics.
+  if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
+    ASSIGN_OR_RETURN(Value l, EvalExpr(*e.left, ctx, aggs));
+    bool lt = IsTruthy(l);
+    if (e.op == BinaryOp::kAnd && !lt) return Value(int64_t{0});
+    if (e.op == BinaryOp::kOr && lt) return Value(int64_t{1});
+    ASSIGN_OR_RETURN(Value r, EvalExpr(*e.right, ctx, aggs));
+    return Value(static_cast<int64_t>(IsTruthy(r) ? 1 : 0));
+  }
+
+  ASSIGN_OR_RETURN(Value l, EvalExpr(*e.left, ctx, aggs));
+  ASSIGN_OR_RETURN(Value r, EvalExpr(*e.right, ctx, aggs));
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  switch (e.op) {
+    case BinaryOp::kEq:
+      return Value(static_cast<int64_t>(l == r ? 1 : 0));
+    case BinaryOp::kNe:
+      return Value(static_cast<int64_t>(l != r ? 1 : 0));
+    case BinaryOp::kLt:
+      return Value(static_cast<int64_t>(l < r ? 1 : 0));
+    case BinaryOp::kLe:
+      return Value(static_cast<int64_t>(l <= r ? 1 : 0));
+    case BinaryOp::kGt:
+      return Value(static_cast<int64_t>(l > r ? 1 : 0));
+    case BinaryOp::kGe:
+      return Value(static_cast<int64_t>(l >= r ? 1 : 0));
+    default:
+      break;
+  }
+
+  // Arithmetic.
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::ExecutionError(
+        Format("arithmetic on non-numeric operands in %s", e.ToString().c_str()));
+  }
+  bool as_double = l.is_double() || r.is_double() || e.op == BinaryOp::kDiv;
+  if (as_double) {
+    double a = l.ToDouble(), b = r.ToDouble();
+    switch (e.op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0.0) return Value::Null();
+        return Value(a / b);
+      default:
+        break;
+    }
+  } else {
+    int64_t a = l.AsInt(), b = r.AsInt();
+    switch (e.op) {
+      case BinaryOp::kAdd:
+        return Value(a + b);
+      case BinaryOp::kSub:
+        return Value(a - b);
+      case BinaryOp::kMul:
+        return Value(a * b);
+      default:
+        break;
+    }
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const RowContext& ctx,
+                       const std::unordered_map<const Expr*, Value>* agg_values) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef: {
+      if (e.bound_alias < 0 || e.bound_index < 0) {
+        return Status::ExecutionError(
+            Format("unbound column reference '%s'", e.ToString().c_str()));
+      }
+      const Table* t = ctx.tables[e.bound_alias];
+      return t->GetValue(ctx.rows[e.bound_alias], e.bound_index);
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, ctx, agg_values);
+    case ExprKind::kAggregate: {
+      if (agg_values == nullptr) {
+        return Status::ExecutionError("aggregate evaluated outside GROUP BY");
+      }
+      auto it = agg_values->find(&e);
+      if (it == agg_values->end()) {
+        return Status::Internal("aggregate value missing for " + e.ToString());
+      }
+      return it->second;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<Value> EvalExpr(const Expr& e, const Table& table, size_t row) {
+  RowContext ctx;
+  ctx.tables = {&table};
+  ctx.rows = {row};
+  return EvalExpr(e, ctx);
+}
+
+}  // namespace cajade

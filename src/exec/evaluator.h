@@ -1,0 +1,75 @@
+// Name resolution (binding) and expression evaluation.
+//
+// Column references are bound against a BindScope mapping (qualifier, name)
+// pairs to (relation index, column index). Evaluation then reads through the
+// bound indexes — either against a single materialized table (relation index
+// 0) or against a tuple of rows drawn from several base tables (used while
+// joining).
+
+#ifndef CAJADE_EXEC_EVALUATOR_H_
+#define CAJADE_EXEC_EVALUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/expr.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+
+/// \brief Resolution environment for column references.
+class BindScope {
+ public:
+  /// Registers a column under `qualifier`.`name` at (rel, col).
+  void AddColumn(const std::string& qualifier, const std::string& name, int rel,
+                 int col);
+
+  /// Builds a scope for a single table: every column is registered under
+  /// qualifier `alias` with relation index 0. When column names contain a
+  /// '.', the prefix also acts as qualifier (working tables name columns
+  /// "alias.column").
+  static BindScope ForTable(const Table& table, const std::string& alias = "");
+
+  /// Resolves (qualifier, name); unqualified lookups must be unambiguous.
+  Result<std::pair<int, int>> Resolve(const std::string& qualifier,
+                                      const std::string& name) const;
+
+ private:
+  struct Entry {
+    int rel;
+    int col;
+  };
+  // "qualifier.name" -> entry; "" qualifier entries live under ".name".
+  std::unordered_map<std::string, Entry> qualified_;
+  std::unordered_map<std::string, std::vector<Entry>> unqualified_;
+};
+
+/// Binds all column refs of `e` in `scope` (sets bound_alias/bound_index).
+Status BindExpr(Expr* e, const BindScope& scope);
+
+/// \brief Row context for evaluation: one (table, row) pair per relation
+/// index used during binding.
+struct RowContext {
+  std::vector<const Table*> tables;
+  std::vector<size_t> rows;
+};
+
+/// Evaluates a bound expression. Aggregate nodes are looked up in
+/// `agg_values` (may be null when the expression contains no aggregates).
+/// Comparison and logical operators yield int64 0/1; any null operand of an
+/// arithmetic/comparison node yields null; AND/OR treat null as false.
+Result<Value> EvalExpr(const Expr& e, const RowContext& ctx,
+                       const std::unordered_map<const Expr*, Value>* agg_values =
+                           nullptr);
+
+/// Convenience: evaluates against a single table row.
+Result<Value> EvalExpr(const Expr& e, const Table& table, size_t row);
+
+/// Truthiness of a predicate result: non-null and non-zero.
+bool IsTruthy(const Value& v);
+
+}  // namespace cajade
+
+#endif  // CAJADE_EXEC_EVALUATOR_H_

@@ -1,0 +1,530 @@
+#include "src/exec/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+#include "src/exec/evaluator.h"
+#include "src/exec/join.h"
+
+namespace cajade {
+
+namespace {
+
+/// Aliases referenced by a bound expression.
+void CollectAliases(const Expr& e, std::set<int>* out) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      out->insert(e.bound_alias);
+      break;
+    case ExprKind::kBinary:
+      CollectAliases(*e.left, out);
+      CollectAliases(*e.right, out);
+      break;
+    case ExprKind::kAggregate:
+      if (e.arg != nullptr) CollectAliases(*e.arg, out);
+      break;
+    default:
+      break;
+  }
+}
+
+/// An equality conjunct between two single columns of distinct aliases.
+struct EquiCond {
+  int alias_a;
+  int col_a;
+  int alias_b;
+  int col_b;
+};
+
+bool AsEquiCond(const Expr& e, EquiCond* out) {
+  if (e.kind != ExprKind::kBinary || e.op != BinaryOp::kEq) return false;
+  if (e.left->kind != ExprKind::kColumnRef || e.right->kind != ExprKind::kColumnRef) {
+    return false;
+  }
+  if (e.left->bound_alias == e.right->bound_alias) return false;
+  out->alias_a = e.left->bound_alias;
+  out->col_a = e.left->bound_index;
+  out->alias_b = e.right->bound_alias;
+  out->col_b = e.right->bound_index;
+  return true;
+}
+
+/// Hash of a multi-column key of base-table cells addressed via a tuple.
+struct TupleKeyHasher {
+  uint64_t operator()(const std::vector<Value>& key) const {
+    uint64_t h = 0x9876;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
+  const size_t n_aliases = query.from.size();
+  if (n_aliases == 0) {
+    return Status::InvalidArgument("query has no FROM clause");
+  }
+
+  // Resolve base tables and build the global binding scope.
+  std::vector<TablePtr> tables(n_aliases);
+  BindScope scope;
+  for (size_t i = 0; i < n_aliases; ++i) {
+    ASSIGN_OR_RETURN(tables[i], db_->GetTable(query.from[i].table_name));
+    const Schema& schema = tables[i]->schema();
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      scope.AddColumn(query.from[i].alias, schema.column(c).name,
+                      static_cast<int>(i), static_cast<int>(c));
+    }
+  }
+
+  // Bind and classify WHERE conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(CloneExpr(query.where), &conjuncts);
+  std::vector<std::set<int>> conjunct_aliases(conjuncts.size());
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    RETURN_NOT_OK(BindExpr(conjuncts[i].get(), scope));
+    CollectAliases(*conjuncts[i], &conjunct_aliases[i]);
+  }
+
+  // Predicate pushdown: evaluate single-alias conjuncts on base tables.
+  std::vector<std::vector<int64_t>> selected(n_aliases);
+  std::vector<bool> consumed(conjuncts.size(), false);
+  for (size_t a = 0; a < n_aliases; ++a) {
+    std::vector<const Expr*> local;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (conjunct_aliases[i].size() == 1 && *conjunct_aliases[i].begin() ==
+                                                 static_cast<int>(a)) {
+        local.push_back(conjuncts[i].get());
+        consumed[i] = true;
+      }
+    }
+    const Table& t = *tables[a];
+    RowContext ctx;
+    ctx.tables.assign(n_aliases, nullptr);
+    ctx.rows.assign(n_aliases, 0);
+    ctx.tables[a] = &t;
+    selected[a].reserve(t.num_rows());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      ctx.rows[a] = r;
+      bool pass = true;
+      for (const Expr* e : local) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+        if (!IsTruthy(v)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) selected[a].push_back(static_cast<int64_t>(r));
+    }
+  }
+
+  // Join loop. Tuples are stored column-major: tuple_cols[k][t] is the base
+  // row id of bound alias k in tuple t.
+  std::vector<int> bound = {0};
+  std::vector<std::vector<int64_t>> tuple_cols(1);
+  tuple_cols[0] = selected[0];
+
+  auto is_bound = [&](int a) {
+    return std::find(bound.begin(), bound.end(), a) != bound.end();
+  };
+  auto bound_pos = [&](int a) {
+    return static_cast<size_t>(std::find(bound.begin(), bound.end(), a) -
+                               bound.begin());
+  };
+
+  while (bound.size() < n_aliases) {
+    // Find an unbound alias connected to the bound set by equality conjuncts.
+    int next = -1;
+    std::vector<size_t> join_conjunct_ids;
+    for (size_t a = 0; a < n_aliases && next < 0; ++a) {
+      if (is_bound(static_cast<int>(a))) continue;
+      join_conjunct_ids.clear();
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (consumed[i]) continue;
+        EquiCond ec;
+        if (!AsEquiCond(*conjuncts[i], &ec)) continue;
+        bool connects = (ec.alias_a == static_cast<int>(a) && is_bound(ec.alias_b)) ||
+                        (ec.alias_b == static_cast<int>(a) && is_bound(ec.alias_a));
+        if (connects) join_conjunct_ids.push_back(i);
+      }
+      if (!join_conjunct_ids.empty()) next = static_cast<int>(a);
+    }
+
+    if (next < 0) {
+      // Cross product with the smallest remaining relation.
+      size_t best = 0;
+      size_t best_size = SIZE_MAX;
+      for (size_t a = 0; a < n_aliases; ++a) {
+        if (!is_bound(static_cast<int>(a)) && selected[a].size() < best_size) {
+          best = a;
+          best_size = selected[a].size();
+        }
+      }
+      size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
+      std::vector<std::vector<int64_t>> out(bound.size() + 1);
+      for (size_t t = 0; t < n_tuples; ++t) {
+        for (int64_t r : selected[best]) {
+          for (size_t k = 0; k < bound.size(); ++k) out[k].push_back(tuple_cols[k][t]);
+          out.back().push_back(r);
+        }
+      }
+      bound.push_back(static_cast<int>(best));
+      tuple_cols = std::move(out);
+      continue;
+    }
+
+    // Hash join on all connecting equality conjuncts.
+    std::vector<std::pair<int, int>> bound_keys;  // (bound alias, col)
+    std::vector<int> next_keys;
+    for (size_t i : join_conjunct_ids) {
+      EquiCond ec;
+      AsEquiCond(*conjuncts[i], &ec);
+      if (ec.alias_a == next) {
+        next_keys.push_back(ec.col_a);
+        bound_keys.emplace_back(ec.alias_b, ec.col_b);
+      } else {
+        next_keys.push_back(ec.col_b);
+        bound_keys.emplace_back(ec.alias_a, ec.col_a);
+      }
+      consumed[i] = true;
+    }
+
+    const Table& nt = *tables[next];
+    std::unordered_multimap<std::vector<Value>, int64_t, TupleKeyHasher> build;
+    build.reserve(selected[next].size() * 2);
+    for (int64_t r : selected[next]) {
+      std::vector<Value> key;
+      key.reserve(next_keys.size());
+      bool has_null = false;
+      for (int c : next_keys) {
+        Value v = nt.GetValue(r, c);
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(std::move(v));
+      }
+      if (!has_null) build.emplace(std::move(key), r);
+    }
+
+    size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
+    std::vector<std::vector<int64_t>> out(bound.size() + 1);
+    std::vector<Value> key(bound_keys.size());
+    for (size_t t = 0; t < n_tuples; ++t) {
+      bool has_null = false;
+      for (size_t k = 0; k < bound_keys.size(); ++k) {
+        auto [ba, bc] = bound_keys[k];
+        key[k] = tables[ba]->GetValue(tuple_cols[bound_pos(ba)][t], bc);
+        if (key[k].is_null()) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;
+      auto range = build.equal_range(key);
+      for (auto it = range.first; it != range.second; ++it) {
+        for (size_t k = 0; k < bound.size(); ++k) out[k].push_back(tuple_cols[k][t]);
+        out.back().push_back(it->second);
+      }
+    }
+    bound.push_back(next);
+    tuple_cols = std::move(out);
+  }
+
+  // Residual conjuncts over multiple aliases.
+  std::vector<const Expr*> residual;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (!consumed[i]) residual.push_back(conjuncts[i].get());
+  }
+  size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
+  std::vector<size_t> keep;
+  keep.reserve(n_tuples);
+  if (residual.empty()) {
+    keep.resize(n_tuples);
+    std::iota(keep.begin(), keep.end(), 0);
+  } else {
+    RowContext ctx;
+    ctx.tables.resize(n_aliases);
+    ctx.rows.resize(n_aliases);
+    for (size_t a = 0; a < n_aliases; ++a) ctx.tables[a] = tables[a].get();
+    for (size_t t = 0; t < n_tuples; ++t) {
+      for (size_t k = 0; k < bound.size(); ++k) {
+        ctx.rows[bound[k]] = static_cast<size_t>(tuple_cols[k][t]);
+      }
+      bool pass = true;
+      for (const Expr* e : residual) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+        if (!IsTruthy(v)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) keep.push_back(t);
+    }
+  }
+
+  // Materialize the working table, columns named "<alias>.<column>".
+  SpjOutput out;
+  Schema working_schema;
+  for (size_t a = 0; a < n_aliases; ++a) {
+    out.aliases.push_back(query.from[a].alias);
+    out.relations.push_back(query.from[a].table_name);
+    for (const auto& col : tables[a]->schema().columns()) {
+      RETURN_NOT_OK(working_schema.AddColumn(query.from[a].alias + "." + col.name,
+                                             col.type));
+    }
+  }
+  Table working("working", std::move(working_schema));
+  working.Reserve(keep.size());
+  size_t out_col = 0;
+  for (size_t a = 0; a < n_aliases; ++a) {
+    size_t pos = bound_pos(static_cast<int>(a));
+    const std::vector<int64_t>& rows = tuple_cols[pos];
+    const Table& src = *tables[a];
+    for (size_t c = 0; c < src.num_columns(); ++c, ++out_col) {
+      const Column& sc = src.column(c);
+      Column& dc = working.column(out_col);
+      if (sc.type() == DataType::kString) dc.AdoptDictionary(sc);
+      for (size_t t : keep) {
+        int64_t r = rows[t];
+        if (sc.IsNull(r)) {
+          dc.AppendNull();
+        } else {
+          switch (sc.type()) {
+            case DataType::kInt64:
+              dc.AppendInt(sc.GetInt(r));
+              break;
+            case DataType::kDouble:
+              dc.AppendDouble(sc.GetDouble(r));
+              break;
+            case DataType::kString:
+              dc.AppendCode(sc.GetCode(r));
+              break;
+            default:
+              dc.AppendNull();
+          }
+        }
+      }
+    }
+  }
+  working.SetRowCount(keep.size());
+  out.source_rows.resize(n_aliases);
+  for (size_t a = 0; a < n_aliases; ++a) {
+    size_t pos = bound_pos(static_cast<int>(a));
+    out.source_rows[a].reserve(keep.size());
+    for (size_t t : keep) out.source_rows[a].push_back(tuple_cols[pos][t]);
+  }
+  out.table = std::move(working);
+  return out;
+}
+
+namespace {
+
+/// Accumulator for one aggregate over one group.
+struct AggState {
+  int64_t count = 0;
+  double dsum = 0.0;
+  int64_t isum = 0;
+  bool any_double = false;
+  bool has_value = false;
+  Value min_v;
+  Value max_v;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_double()) {
+      any_double = true;
+      dsum += v.AsDouble();
+    } else if (v.is_int()) {
+      isum += v.AsInt();
+      dsum += static_cast<double>(v.AsInt());
+    }
+    if (!has_value || v < min_v) min_v = v;
+    if (!has_value || v > max_v) max_v = v;
+    has_value = true;
+  }
+
+  Value Finish(AggFunc fn, int64_t group_size) const {
+    switch (fn) {
+      case AggFunc::kCount:
+        return Value(group_size >= 0 ? group_size : count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return any_double ? Value(dsum) : Value(isum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value(dsum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return has_value ? min_v : Value::Null();
+      case AggFunc::kMax:
+        return has_value ? max_v : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<QueryOutput> QueryExecutor::ExecuteWithProvenance(
+    const ParsedQuery& query) const {
+  ASSIGN_OR_RETURN(SpjOutput spj, ExecuteSpj(query));
+  const Table& working = spj.table;
+  BindScope scope = BindScope::ForTable(working);
+
+  // Clone + bind select and group-by expressions against the working table.
+  std::vector<SelectItem> select;
+  select.reserve(query.select.size());
+  for (const auto& item : query.select) {
+    select.push_back({CloneExpr(item.expr), item.name});
+    RETURN_NOT_OK(BindExpr(select.back().expr.get(), scope));
+  }
+  std::vector<ExprPtr> group_by;
+  for (const auto& g : query.group_by) {
+    group_by.push_back(CloneExpr(g));
+    RETURN_NOT_OK(BindExpr(group_by.back().get(), scope));
+  }
+
+  bool has_agg = false;
+  for (const auto& item : select) {
+    if (item.expr->ContainsAggregate()) has_agg = true;
+  }
+
+  QueryOutput out;
+
+  if (!has_agg && group_by.empty()) {
+    // Plain projection; each output row's provenance is its working row.
+    std::vector<std::vector<Value>> rows;
+    RowContext ctx{{&working}, {0}};
+    for (size_t r = 0; r < working.num_rows(); ++r) {
+      ctx.rows[0] = r;
+      std::vector<Value> row;
+      for (const auto& item : select) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, ctx));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+      out.group_rows.push_back({static_cast<int64_t>(r)});
+    }
+    // Infer schema.
+    Schema schema;
+    for (size_t c = 0; c < select.size(); ++c) {
+      DataType t = DataType::kInt64;
+      for (const auto& row : rows) {
+        if (!row[c].is_null()) {
+          t = row[c].type();
+          if (t == DataType::kDouble) break;
+        }
+      }
+      RETURN_NOT_OK(schema.AddColumn(select[c].name, t));
+    }
+    Table result("result", std::move(schema));
+    for (const auto& row : rows) RETURN_NOT_OK(result.AppendRow(row));
+    out.result = std::move(result);
+    out.spj = std::move(spj);
+    return out;
+  }
+
+  // Group rows by the group-by key.
+  std::unordered_map<std::vector<Value>, size_t, TupleKeyHasher> group_ids;
+  std::vector<std::vector<int64_t>> group_rows;
+  RowContext ctx{{&working}, {0}};
+  for (size_t r = 0; r < working.num_rows(); ++r) {
+    ctx.rows[0] = r;
+    std::vector<Value> key;
+    key.reserve(group_by.size());
+    for (const auto& g : group_by) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = group_ids.emplace(std::move(key), group_rows.size());
+    if (inserted) group_rows.emplace_back();
+    group_rows[it->second].push_back(static_cast<int64_t>(r));
+  }
+  if (group_by.empty() && group_rows.empty()) {
+    // Aggregates without GROUP BY over an empty input: one empty group.
+    group_rows.emplace_back();
+  }
+
+  // Collect aggregate nodes across select items.
+  std::vector<Expr*> agg_nodes;
+  for (auto& item : select) item.expr->CollectAggregates(&agg_nodes);
+
+  // Evaluate each group.
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(group_rows.size());
+  for (const auto& members : group_rows) {
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (Expr* agg : agg_nodes) {
+      AggState state;
+      if (agg->arg == nullptr) {
+        // COUNT(*)
+        agg_values.emplace(agg,
+                           Value(static_cast<int64_t>(members.size())));
+        continue;
+      }
+      for (int64_t r : members) {
+        ctx.rows[0] = static_cast<size_t>(r);
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*agg->arg, ctx));
+        state.Add(v);
+      }
+      agg_values.emplace(agg, state.Finish(agg->agg, -1));
+    }
+    ctx.rows[0] = members.empty() ? 0 : static_cast<size_t>(members.front());
+    std::vector<Value> row;
+    for (const auto& item : select) {
+      ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, ctx, &agg_values));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Infer the output schema (promote to double when any group yields one).
+  Schema schema;
+  for (size_t c = 0; c < select.size(); ++c) {
+    DataType t = DataType::kInt64;
+    bool seen = false;
+    for (const auto& row : rows) {
+      if (row[c].is_null()) continue;
+      if (!seen) {
+        t = row[c].type();
+        seen = true;
+      } else if (row[c].type() == DataType::kDouble && t == DataType::kInt64) {
+        t = DataType::kDouble;
+      }
+    }
+    RETURN_NOT_OK(schema.AddColumn(select[c].name, t));
+  }
+  Table result("result", std::move(schema));
+  for (const auto& row : rows) RETURN_NOT_OK(result.AppendRow(row));
+
+  // Identify which output columns are group-by columns.
+  for (size_t c = 0; c < select.size(); ++c) {
+    const Expr& e = *select[c].expr;
+    if (e.kind != ExprKind::kColumnRef) continue;
+    for (const auto& g : group_by) {
+      if (g->bound_index == e.bound_index) {
+        out.group_by_output_cols.push_back(static_cast<int>(c));
+        break;
+      }
+    }
+  }
+
+  out.result = std::move(result);
+  out.group_rows = std::move(group_rows);
+  out.spj = std::move(spj);
+  return out;
+}
+
+Result<Table> QueryExecutor::Execute(const ParsedQuery& query) const {
+  ASSIGN_OR_RETURN(QueryOutput out, ExecuteWithProvenance(query));
+  return std::move(out.result);
+}
+
+}  // namespace cajade

@@ -1,0 +1,65 @@
+// Query execution for the single-block SPJA subset.
+//
+// Pipeline: per-relation predicate pushdown -> greedy hash equi-join ordering
+// -> residual filters -> working-table materialization -> hash group-by
+// aggregation. The working table (the pre-aggregation join result) and the
+// per-group row partitions are retained: they are exactly the
+// why-provenance the explanation engine needs (paper Definition 1).
+
+#ifndef CAJADE_EXEC_EXECUTOR_H_
+#define CAJADE_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/expr.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// The materialized select-project-join result, before aggregation.
+struct SpjOutput {
+  /// Columns named "<alias>.<column>".
+  Table table;
+  /// FROM-clause aliases in order.
+  std::vector<std::string> aliases;
+  /// Relation name per alias.
+  std::vector<std::string> relations;
+  /// source_rows[a][r]: base-table row id of alias a in working row r.
+  std::vector<std::vector<int64_t>> source_rows;
+};
+
+/// Full result of an aggregate query, with provenance.
+struct QueryOutput {
+  /// The query answer.
+  Table result;
+  /// result row -> working-table rows contributing to it.
+  std::vector<std::vector<int64_t>> group_rows;
+  /// Output-column indexes holding group-by values.
+  std::vector<int> group_by_output_cols;
+  /// The pre-aggregation join result.
+  SpjOutput spj;
+};
+
+/// \brief Executes parsed queries against a Database.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Database* db) : db_(db) {}
+
+  /// Runs the query, returning only the answer table.
+  Result<Table> Execute(const ParsedQuery& query) const;
+
+  /// Runs the query, additionally returning the working table and group
+  /// partitions (why-provenance).
+  Result<QueryOutput> ExecuteWithProvenance(const ParsedQuery& query) const;
+
+ private:
+  Result<SpjOutput> ExecuteSpj(const ParsedQuery& query) const;
+
+  const Database* db_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_EXEC_EXECUTOR_H_

@@ -1,0 +1,88 @@
+#include "src/exec/join.h"
+
+#include <unordered_map>
+
+namespace cajade {
+
+namespace {
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+inline uint64_t HashCell(const Column& col, int64_t row) {
+  if (col.IsNull(row)) return 0xdeadULL;
+  switch (col.type()) {
+    case DataType::kInt64:
+      return std::hash<double>()(static_cast<double>(col.GetInt(row)));
+    case DataType::kDouble:
+      return std::hash<double>()(col.GetDouble(row));
+    case DataType::kString:
+      return std::hash<std::string>()(col.GetString(row));
+    default:
+      return 0;
+  }
+}
+
+inline bool CellsEqual(const Column& a, int64_t ra, const Column& b, int64_t rb) {
+  if (a.IsNull(ra) || b.IsNull(rb)) return false;  // null never joins
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    return a.GetNumeric(ra) == b.GetNumeric(rb);
+  }
+  if (a.type() == DataType::kString && b.type() == DataType::kString) {
+    return a.GetString(ra) == b.GetString(rb);
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t HashRowKey(const Table& table, int64_t row, const std::vector<int>& cols) {
+  uint64_t h = 0x12345678;
+  for (int c : cols) h = HashCombine(h, HashCell(table.column(c), row));
+  return h;
+}
+
+bool RowKeysEqual(const Table& a, int64_t row_a, const std::vector<int>& cols_a,
+                  const Table& b, int64_t row_b, const std::vector<int>& cols_b) {
+  for (size_t i = 0; i < cols_a.size(); ++i) {
+    if (!CellsEqual(a.column(cols_a[i]), row_a, b.column(cols_b[i]), row_b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
+    const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
+    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  // Build on the right side.
+  std::unordered_multimap<uint64_t, int64_t> build;
+  build.reserve(right_rows.size() * 2);
+  for (int64_t r : right_rows) {
+    bool has_null = false;
+    for (int c : keys.right_cols) {
+      if (right.column(c).IsNull(r)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    build.emplace(HashRowKey(right, r, keys.right_cols), r);
+  }
+  // Probe with the left side, preserving order.
+  for (int64_t l : left_rows) {
+    uint64_t h = HashRowKey(left, l, keys.left_cols);
+    auto range = build.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (RowKeysEqual(left, l, keys.left_cols, right, it->second,
+                       keys.right_cols)) {
+        out.emplace_back(l, it->second);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cajade

@@ -1,0 +1,39 @@
+// Reusable multi-column hash equi-join on row-id sets. Used by the query
+// executor and by augmented-provenance-table materialization.
+
+#ifndef CAJADE_EXEC_JOIN_H_
+#define CAJADE_EXEC_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace cajade {
+
+/// Key columns for an equi-join: left_cols[i] must equal right_cols[i].
+struct JoinKeySpec {
+  std::vector<int> left_cols;
+  std::vector<int> right_cols;
+};
+
+/// \brief Joins `left_rows` x `right_rows` on the key spec.
+///
+/// Output pairs are grouped by left row in the order of `left_rows` (probe
+/// side) — downstream code relies on this stability. Null key values never
+/// match (SQL equi-join semantics).
+std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
+    const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
+    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys);
+
+/// Combines per-column value hashes for `row` over `cols`; helper shared with
+/// the executor's tuple-based join.
+uint64_t HashRowKey(const Table& table, int64_t row, const std::vector<int>& cols);
+
+/// Column-wise equality of two rows on the given key columns (null != null).
+bool RowKeysEqual(const Table& a, int64_t row_a, const std::vector<int>& cols_a,
+                  const Table& b, int64_t row_b, const std::vector<int>& cols_b);
+
+}  // namespace cajade
+
+#endif  // CAJADE_EXEC_JOIN_H_

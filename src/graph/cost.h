@@ -1,0 +1,28 @@
+// APT size/cost estimation for join-graph pruning (Section 4, lambda_qcost).
+// Plays the role of the DBMS cost estimate the paper obtains from
+// PostgreSQL: a Selinger-style cardinality estimate from per-column distinct
+// counts, multiplied by the APT width.
+
+#ifndef CAJADE_GRAPH_COST_H_
+#define CAJADE_GRAPH_COST_H_
+
+#include "src/graph/join_graph.h"
+#include "src/stats/table_stats.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// Estimated number of APT rows for join graph `g` given `pt_rows` rows in
+/// the provenance table.
+double EstimateAptRows(const JoinGraph& g, const SchemaGraph& sg,
+                       const Database& db, StatsCatalog* stats, double pt_rows);
+
+/// Estimated materialization + mining cost: estimated rows times APT width
+/// (provenance columns plus all context columns).
+double EstimateAptCost(const JoinGraph& g, const SchemaGraph& sg,
+                       const Database& db, StatsCatalog* stats, double pt_rows,
+                       size_t pt_columns);
+
+}  // namespace cajade
+
+#endif  // CAJADE_GRAPH_COST_H_

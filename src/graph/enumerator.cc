@@ -1,0 +1,206 @@
+#include "src/graph/enumerator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/graph/cost.h"
+
+namespace cajade {
+
+void JoinGraphEnumerator::AddEdgeExtensions(const JoinGraph& g, int node,
+                                            const std::string& rel_self,
+                                            int schema_edge, int condition,
+                                            std::vector<JoinGraph>* out) const {
+  const SchemaEdge& se = schema_graph_->edges()[schema_edge];
+  // Determine the relation at the far end and which side `node` plays.
+  // For self-join edges (rel_a == rel_b) the node may play either side; we
+  // generate the left-side orientation (the opposite orientation produces an
+  // isomorphic graph removed by canonical dedup).
+  std::vector<std::pair<std::string, bool>> far_ends;  // (far rel, node plays left)
+  if (se.rel_a == rel_self && se.rel_b == rel_self) {
+    far_ends.emplace_back(rel_self, true);
+  } else if (se.rel_a == rel_self) {
+    far_ends.emplace_back(se.rel_b, true);
+  } else if (se.rel_b == rel_self) {
+    far_ends.emplace_back(se.rel_a, false);
+  } else {
+    return;  // edge not adjacent to rel_self
+  }
+
+  const bool node_is_pt = g.nodes()[node].is_pt;
+  for (const auto& [far_rel, node_left] : far_ends) {
+    // Extension type (i): connect to a brand-new node labeled far_rel.
+    {
+      JoinGraph next = g;
+      int new_node = next.AddNode(far_rel);
+      JoinGraphEdge edge;
+      edge.node_a = node;
+      edge.node_b = new_node;
+      edge.schema_edge = schema_edge;
+      edge.condition = condition;
+      edge.a_plays_left = node_left;
+      if (node_is_pt) edge.pt_relation = rel_self;
+      next.AddEdge(std::move(edge));
+      out->push_back(std::move(next));
+    }
+    // Extension type (ii): connect to each existing node labeled far_rel
+    // unless an identical edge already exists. PT is never a far end
+    // (Definition 3 forbids PT-PT edges; PT-adjacent edges are generated
+    // with `node` = PT instead).
+    for (size_t v = 1; v < g.nodes().size(); ++v) {
+      if (static_cast<int>(v) == node) continue;
+      if (g.nodes()[v].relation != far_rel) continue;
+      if (g.HasEdge(node, static_cast<int>(v), schema_edge, condition)) continue;
+      JoinGraph next = g;
+      JoinGraphEdge edge;
+      edge.node_a = node;
+      edge.node_b = static_cast<int>(v);
+      edge.schema_edge = schema_edge;
+      edge.condition = condition;
+      edge.a_plays_left = node_left;
+      if (node_is_pt) edge.pt_relation = rel_self;
+      next.AddEdge(std::move(edge));
+      out->push_back(std::move(next));
+    }
+  }
+}
+
+std::vector<JoinGraph> JoinGraphEnumerator::Extend(const JoinGraph& g) const {
+  std::vector<JoinGraph> out;
+  for (size_t v = 0; v < g.nodes().size(); ++v) {
+    const JoinGraphNode& node = g.nodes()[v];
+    // PT represents every relation accessed by the query (deduplicated:
+    // a relation referenced by several aliases contributes once; parallel
+    // edges per alias are handled at APT materialization).
+    std::vector<std::string> rels;
+    if (node.is_pt) {
+      std::set<std::string> uniq(query_relations_.begin(), query_relations_.end());
+      rels.assign(uniq.begin(), uniq.end());
+    } else {
+      rels.push_back(node.relation);
+    }
+    for (const auto& r : rels) {
+      for (int ei : schema_graph_->EdgesOfRelation(r)) {
+        const SchemaEdge& se = schema_graph_->edges()[ei];
+        for (size_t c = 0; c < se.conditions.size(); ++c) {
+          AddEdgeExtensions(g, static_cast<int>(v), r, ei, static_cast<int>(c),
+                            &out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool JoinGraphEnumerator::PkCovered(const JoinGraph& g) const {
+  for (size_t v = 1; v < g.nodes().size(); ++v) {
+    const JoinGraphNode& node = g.nodes()[v];
+    auto table_r = db_->GetTable(node.relation);
+    if (!table_r.ok()) return false;
+    const std::vector<std::string>& pk = table_r.ValueOrDie()->schema().primary_key();
+    if (pk.empty()) continue;  // no declared key: nothing to check
+    // Gather attributes of this node used in incident join conditions.
+    std::set<std::string> joined_attrs;
+    for (const auto& e : g.edges()) {
+      bool at_a = e.node_a == static_cast<int>(v);
+      bool at_b = e.node_b == static_cast<int>(v);
+      if (!at_a && !at_b) continue;
+      const SchemaEdge& se = schema_graph_->edges()[e.schema_edge];
+      const JoinConditionDef& cond = se.conditions[e.condition];
+      // Which side of the condition does this node take? (A self-join edge
+      // with both endpoints here contributes both sides.)
+      if (at_a) {
+        for (const auto& p : cond.pairs) {
+          joined_attrs.insert(e.a_plays_left ? p.left : p.right);
+        }
+      }
+      if (at_b) {
+        for (const auto& p : cond.pairs) {
+          joined_attrs.insert(e.a_plays_left ? p.right : p.left);
+        }
+      }
+    }
+    if (options_.pk_check == PkCheckMode::kAllAttrs) {
+      for (const auto& key_attr : pk) {
+        if (joined_attrs.count(key_attr) == 0) return false;
+      }
+    } else {
+      bool any = false;
+      for (const auto& key_attr : pk) {
+        if (joined_attrs.count(key_attr) > 0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+  }
+  return true;
+}
+
+bool JoinGraphEnumerator::IsValid(const JoinGraph& g, double pt_rows,
+                                  size_t pt_columns) {
+  if (options_.pk_check != PkCheckMode::kOff && !PkCovered(g)) {
+    ++stats_.pruned_pk;
+    return false;
+  }
+  if (options_.check_cost) {
+    double cost = EstimateAptCost(g, *schema_graph_, *db_, &stats_catalog_,
+                                  pt_rows, pt_columns);
+    if (cost > options_.cost_threshold) {
+      ++stats_.pruned_cost;
+      return false;
+    }
+  }
+  return true;
+}
+
+Status JoinGraphEnumerator::Enumerate(
+    double pt_rows, size_t pt_columns,
+    const std::function<Status(const JoinGraph&)>& mine) {
+  stats_ = EnumeratorStats{};
+  JoinGraph omega0 = JoinGraph::PtOnly();
+  if (options_.include_pt_only) {
+    ++stats_.unique;
+    ++stats_.valid;
+    RETURN_NOT_OK(mine(omega0));
+  }
+
+  std::unordered_set<std::string> seen;
+  seen.insert(omega0.CanonicalKey());
+  std::vector<JoinGraph> prev = {omega0};
+
+  for (int size = 1; size <= options_.max_edges; ++size) {
+    std::vector<JoinGraph> next;
+    for (const auto& g : prev) {
+      for (auto& candidate : Extend(g)) {
+        ++stats_.generated;
+        std::string key = candidate.CanonicalKey();
+        if (!seen.insert(std::move(key)).second) continue;
+        ++stats_.unique;
+        next.push_back(std::move(candidate));
+      }
+    }
+    for (const auto& g : next) {
+      if (IsValid(g, pt_rows, pt_columns)) {
+        ++stats_.valid;
+        RETURN_NOT_OK(mine(g));
+      }
+    }
+    prev = std::move(next);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<JoinGraph>> JoinGraphEnumerator::EnumerateAll(
+    double pt_rows, size_t pt_columns) {
+  std::vector<JoinGraph> out;
+  RETURN_NOT_OK(Enumerate(pt_rows, pt_columns, [&](const JoinGraph& g) {
+    out.push_back(g);
+    return Status::OK();
+  }));
+  return out;
+}
+
+}  // namespace cajade

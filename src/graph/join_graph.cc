@@ -1,0 +1,122 @@
+#include "src/graph/join_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+JoinGraph JoinGraph::PtOnly() {
+  JoinGraph g;
+  g.nodes_.push_back({true, "", "PT"});
+  return g;
+}
+
+int JoinGraph::AddNode(const std::string& relation) {
+  int occurrence = 0;
+  for (const auto& n : nodes_) {
+    if (!n.is_pt && n.relation == relation) ++occurrence;
+  }
+  std::string label = relation;
+  if (occurrence > 0) label += "#" + std::to_string(occurrence + 1);
+  nodes_.push_back({false, relation, label});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+bool JoinGraph::HasEdge(int node_a, int node_b, int schema_edge,
+                        int condition) const {
+  for (const auto& e : edges_) {
+    bool same_nodes = (e.node_a == node_a && e.node_b == node_b) ||
+                      (e.node_a == node_b && e.node_b == node_a);
+    if (same_nodes && e.schema_edge == schema_edge && e.condition == condition) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string JoinGraph::Describe() const {
+  if (edges_.empty()) return "PT";
+  // Render a BFS spanning walk from PT.
+  std::vector<std::string> parts = {"PT"};
+  std::vector<bool> visited(nodes_.size(), false);
+  visited[0] = true;
+  std::vector<int> frontier = {0};
+  while (!frontier.empty()) {
+    int v = frontier.front();
+    frontier.erase(frontier.begin());
+    for (const auto& e : edges_) {
+      int other = -1;
+      if (e.node_a == v && !visited[e.node_b]) other = e.node_b;
+      if (e.node_b == v && !visited[e.node_a]) other = e.node_a;
+      if (other >= 0) {
+        visited[other] = true;
+        parts.push_back(nodes_[other].label);
+        frontier.push_back(other);
+      }
+    }
+  }
+  return Join(parts, " - ");
+}
+
+std::string JoinGraph::DescribeEdges(const SchemaGraph& sg) const {
+  std::vector<std::string> parts;
+  for (const auto& e : edges_) {
+    const SchemaEdge& se = sg.edges()[e.schema_edge];
+    const JoinConditionDef& cond = se.conditions[e.condition];
+    std::string left = nodes_[e.a_plays_left ? e.node_a : e.node_b].label;
+    std::string right = nodes_[e.a_plays_left ? e.node_b : e.node_a].label;
+    parts.push_back(cond.ToString(left, right));
+  }
+  return Join(parts, " ");
+}
+
+std::string JoinGraph::CanonicalKey() const {
+  // Initial labels: PT marker or relation name.
+  std::vector<std::string> labels(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    labels[i] = nodes_[i].is_pt ? "@PT:" + nodes_[i].relation : nodes_[i].relation;
+  }
+  // Edge signature relative to a node, independent of orientation.
+  auto edge_sig = [&](const JoinGraphEdge& e, bool from_a,
+                      const std::vector<std::string>& lab) {
+    int other = from_a ? e.node_b : e.node_a;
+    bool this_left = from_a ? e.a_plays_left : !e.a_plays_left;
+    return Format("e%d.%d%c%s|%s", e.schema_edge, e.condition,
+                  this_left ? 'L' : 'R', e.pt_relation.c_str(),
+                  lab[other].c_str());
+  };
+  // Two rounds of WL refinement.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::string> next(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      std::vector<std::string> sigs;
+      for (const auto& e : edges_) {
+        if (e.node_a == static_cast<int>(i)) sigs.push_back(edge_sig(e, true, labels));
+        if (e.node_b == static_cast<int>(i)) sigs.push_back(edge_sig(e, false, labels));
+      }
+      std::sort(sigs.begin(), sigs.end());
+      next[i] = labels[i] + "{" + Join(sigs, ",") + "}";
+    }
+    labels = std::move(next);
+  }
+  // Canonical form: sorted multiset of refined edge signatures plus sorted
+  // node labels.
+  std::vector<std::string> edge_keys;
+  for (const auto& e : edges_) {
+    std::string a = edge_sig(e, true, labels);
+    std::string b = edge_sig(e, false, labels);
+    if (b < a) std::swap(a, b);
+    edge_keys.push_back(labels[e.node_a] < labels[e.node_b]
+                            ? labels[e.node_a] + "~" + a + "~" + b
+                            : labels[e.node_b] + "~" + a + "~" + b);
+  }
+  std::sort(edge_keys.begin(), edge_keys.end());
+  std::vector<std::string> node_keys = labels;
+  std::sort(node_keys.begin(), node_keys.end());
+  return Join(node_keys, ";") + "||" + Join(edge_keys, ";");
+}
+
+}  // namespace cajade

@@ -1,0 +1,73 @@
+// Join graphs (paper Definition 3): node- and edge-labeled undirected
+// multigraphs describing one way of augmenting the provenance table with
+// context relations. Node 0 is always the distinguished PT node.
+
+#ifndef CAJADE_GRAPH_JOIN_GRAPH_H_
+#define CAJADE_GRAPH_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/schema_graph.h"
+
+namespace cajade {
+
+/// A node: either the PT node or an occurrence of a context relation.
+struct JoinGraphNode {
+  bool is_pt = false;
+  std::string relation;  ///< empty for the PT node
+  std::string label;     ///< "PT", or relation name (+ #k for repeats)
+};
+
+/// An edge: a schema-graph condition instantiated between two nodes.
+struct JoinGraphEdge {
+  int node_a = 0;
+  int node_b = 0;
+  int schema_edge = -1;    ///< index into SchemaGraph::edges()
+  int condition = -1;      ///< index into that edge's condition list
+  bool a_plays_left = true;  ///< node_a takes the rel_a side of the condition
+  /// When an endpoint is the PT node: the query relation it binds to (the
+  /// paper's per-alias parallel edges).
+  std::string pt_relation;
+};
+
+/// \brief A join graph.
+class JoinGraph {
+ public:
+  /// The trivial join graph: a single PT node, no edges (Omega_0).
+  static JoinGraph PtOnly();
+
+  const std::vector<JoinGraphNode>& nodes() const { return nodes_; }
+  const std::vector<JoinGraphEdge>& edges() const { return edges_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds a context-relation node; returns its index. The label gets a #k
+  /// suffix when the relation already occurs among the context nodes.
+  int AddNode(const std::string& relation);
+
+  void AddEdge(JoinGraphEdge edge) { edges_.push_back(std::move(edge)); }
+
+  /// True if an identical (same endpoints, same schema condition) edge
+  /// already exists.
+  bool HasEdge(int node_a, int node_b, int schema_edge, int condition) const;
+
+  /// Human-readable structure, e.g. "PT - player_game_stats - player".
+  std::string Describe() const;
+
+  /// Edge-by-edge description with join conditions resolved against `sg`.
+  std::string DescribeEdges(const SchemaGraph& sg) const;
+
+  /// Canonical string key identifying the graph up to node renaming; used to
+  /// deduplicate graphs produced by different extension orders. Based on two
+  /// rounds of Weisfeiler-Lehman label refinement, which distinguishes all
+  /// shapes arising at the small sizes the enumerator explores.
+  std::string CanonicalKey() const;
+
+ private:
+  std::vector<JoinGraphNode> nodes_;
+  std::vector<JoinGraphEdge> edges_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_GRAPH_JOIN_GRAPH_H_

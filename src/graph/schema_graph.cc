@@ -1,0 +1,89 @@
+#include "src/graph/schema_graph.h"
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+std::string JoinConditionDef::ToString(const std::string& left_name,
+                                       const std::string& right_name) const {
+  std::vector<std::string> parts;
+  parts.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    parts.push_back(left_name + "." + p.left + "=" + right_name + "." + p.right);
+  }
+  return "(" + Join(parts, " AND ") + ")";
+}
+
+int SchemaGraph::FindEdge(const std::string& rel_a,
+                          const std::string& rel_b) const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if ((edges_[i].rel_a == rel_a && edges_[i].rel_b == rel_b) ||
+        (edges_[i].rel_a == rel_b && edges_[i].rel_b == rel_a)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status SchemaGraph::AddCondition(const std::string& rel_a,
+                                 const std::string& rel_b,
+                                 JoinConditionDef cond) {
+  if (cond.pairs.empty()) {
+    return Status::InvalidArgument("join condition must have at least one pair");
+  }
+  int idx = FindEdge(rel_a, rel_b);
+  if (idx < 0) {
+    edges_.push_back({rel_a, rel_b, {std::move(cond)}});
+    return Status::OK();
+  }
+  SchemaEdge& edge = edges_[idx];
+  if (edge.rel_a != rel_a) {
+    // Caller used the opposite orientation; flip the attribute pairs.
+    for (auto& p : cond.pairs) std::swap(p.left, p.right);
+  }
+  edge.conditions.push_back(std::move(cond));
+  return Status::OK();
+}
+
+Result<SchemaGraph> SchemaGraph::FromForeignKeys(const Database& db) {
+  SchemaGraph graph;
+  for (const auto& name : db.table_names()) {
+    ASSIGN_OR_RETURN(TablePtr table, db.GetTable(name));
+    for (const auto& fk : table->schema().foreign_keys()) {
+      if (!db.HasTable(fk.ref_table)) {
+        return Status::InvalidArgument(
+            Format("foreign key of '%s' references unknown table '%s'",
+                   name.c_str(), fk.ref_table.c_str()));
+      }
+      if (fk.columns.size() != fk.ref_columns.size()) {
+        return Status::InvalidArgument(
+            Format("foreign key of '%s' has mismatched column counts",
+                   name.c_str()));
+      }
+      JoinConditionDef cond;
+      for (size_t i = 0; i < fk.columns.size(); ++i) {
+        cond.pairs.push_back({fk.columns[i], fk.ref_columns[i]});
+      }
+      RETURN_NOT_OK(graph.AddCondition(name, fk.ref_table, std::move(cond)));
+    }
+  }
+  return graph;
+}
+
+std::vector<int> SchemaGraph::EdgesOfRelation(const std::string& relation) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].rel_a == relation || edges_[i].rel_b == relation) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+size_t SchemaGraph::TotalConditions() const {
+  size_t n = 0;
+  for (const auto& e : edges_) n += e.conditions.size();
+  return n;
+}
+
+}  // namespace cajade

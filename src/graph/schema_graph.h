@@ -1,0 +1,73 @@
+// Schema graphs (paper Definition 2): an undirected edge-labeled graph over
+// the database's relations, where each edge carries a set of permissible
+// equi-join conditions. Built from foreign-key constraints, with user-added
+// conditions supported (e.g. the home=winner variant from Figure 3, or the
+// lineup_player self-join).
+
+#ifndef CAJADE_GRAPH_SCHEMA_GRAPH_H_
+#define CAJADE_GRAPH_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// One attribute-equality pair: left relation's `left` = right relation's
+/// `right`.
+struct AttrPair {
+  std::string left;
+  std::string right;
+};
+
+/// A join condition: a conjunction of attribute equalities.
+struct JoinConditionDef {
+  std::vector<AttrPair> pairs;
+
+  /// Rendering with the given relation display names,
+  /// e.g. "(PT.year=P.year AND PT.home=P.home)".
+  std::string ToString(const std::string& left_name,
+                       const std::string& right_name) const;
+};
+
+/// An edge of the schema graph with its set of allowed conditions.
+struct SchemaEdge {
+  std::string rel_a;  ///< "left" endpoint (AttrPair.left attributes)
+  std::string rel_b;  ///< "right" endpoint; may equal rel_a (self-join)
+  std::vector<JoinConditionDef> conditions;
+};
+
+/// \brief The schema graph for a database.
+class SchemaGraph {
+ public:
+  /// Adds `cond` to the (rel_a, rel_b) edge, creating the edge on first use.
+  /// Orientation matters for condition attribute sides: conditions added for
+  /// (a, b) are stored with rel_a = a. Adding for (b, a) flips the pairs into
+  /// the existing edge's orientation.
+  Status AddCondition(const std::string& rel_a, const std::string& rel_b,
+                      JoinConditionDef cond);
+
+  /// Derives a schema graph from all foreign keys declared in `db`:
+  /// each FK contributes one condition fk.columns = fk.ref_columns.
+  static Result<SchemaGraph> FromForeignKeys(const Database& db);
+
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  /// Indexes of edges having `relation` as either endpoint (self-join edges
+  /// appear once).
+  std::vector<int> EdgesOfRelation(const std::string& relation) const;
+
+  /// Total number of conditions across all edges.
+  size_t TotalConditions() const;
+
+ private:
+  int FindEdge(const std::string& rel_a, const std::string& rel_b) const;
+
+  std::vector<SchemaEdge> edges_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_GRAPH_SCHEMA_GRAPH_H_

@@ -1,0 +1,69 @@
+// Augmented provenance tables (paper Definition 4): the provenance table
+// joined with the context relations of a join graph. Rows keep a pointer to
+// the provenance row they extend, which is what coverage (Definition 7a) is
+// computed over.
+
+#ifndef CAJADE_MINING_APT_H_
+#define CAJADE_MINING_APT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/join_graph.h"
+#include "src/provenance/provenance.h"
+
+namespace cajade {
+
+/// \brief Cross-join-graph cache of hash indexes on context relations.
+///
+/// Enumerations revisit the same (relation, join-key) combinations across
+/// hundreds of join graphs; caching the build side makes APT
+/// materialization cost proportional to the APT, not the base tables.
+class AptIndexCache {
+ public:
+  using Index = std::unordered_multimap<uint64_t, int32_t>;
+
+  /// Index of `base` on `cols` (built on first use). The base table must
+  /// outlive the cache entry's use.
+  const Index& Get(const Table& base, const std::vector<int>& cols);
+
+ private:
+  std::unordered_map<std::string, Index> cache_;
+};
+
+/// \brief A materialized APT.
+struct Apt {
+  /// PT columns (prov_ names) followed by context columns ("<label>.<attr>").
+  Table table;
+  /// APT row -> position in `pt_rows_used` (NOT the original PT row id).
+  std::vector<int32_t> pt_row;
+  /// The PT rows the APT was built over (typically PT(t1) u PT(t2)),
+  /// as original PT row ids, in ascending order.
+  std::vector<int64_t> pt_rows_used;
+  /// Number of leading columns that came from PT.
+  size_t num_pt_columns = 0;
+  /// Columns eligible for patterns (group-by attributes excluded).
+  std::vector<int> pattern_cols;
+
+  size_t num_rows() const { return pt_row.size(); }
+};
+
+/// Materializes APT(Q, D, Omega) restricted to the given PT rows.
+///
+/// Joins proceed breadth-first from the PT node; edges that close a cycle
+/// become post-join filters. PT-adjacent join conditions resolve their
+/// PT-side attributes through the query relation recorded on the edge.
+/// `row_limit` (0 = unlimited) aborts materialization with OutOfRange once
+/// an intermediate result exceeds it — the backstop behind the cost
+/// estimate's inevitable misses.
+Result<Apt> MaterializeApt(const ProvenanceTable& pt,
+                           const std::vector<int64_t>& pt_rows,
+                           const JoinGraph& graph, const SchemaGraph& schema_graph,
+                           const Database& db, AptIndexCache* cache = nullptr,
+                           size_t row_limit = 0);
+
+}  // namespace cajade
+
+#endif  // CAJADE_MINING_APT_H_

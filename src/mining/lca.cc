@@ -1,0 +1,77 @@
+#include "src/mining/lca.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cajade {
+
+std::vector<LcaCandidate> GenerateLcaCandidates(const Apt& apt,
+                                                const std::vector<int>& cat_cols,
+                                                size_t sample_size, Rng* rng) {
+  std::vector<LcaCandidate> out;
+  if (cat_cols.empty() || apt.num_rows() == 0) return out;
+
+  std::vector<size_t> sample = rng->SampleIndices(apt.num_rows(), sample_size);
+
+  // Pre-extract the categorical codes of the sampled rows (column-major),
+  // -1 for null.
+  const size_t s = sample.size();
+  const size_t k = cat_cols.size();
+  std::vector<std::vector<int32_t>> codes(k, std::vector<int32_t>(s));
+  for (size_t c = 0; c < k; ++c) {
+    const Column& col = apt.table.column(cat_cols[c]);
+    for (size_t i = 0; i < s; ++i) {
+      codes[c][i] = col.IsNull(sample[i]) ? -1 : col.GetCode(sample[i]);
+    }
+  }
+
+  // Meet of every pair; key candidates by their (col, code) signature.
+  struct SigHash {
+    size_t operator()(const std::vector<int32_t>& v) const {
+      size_t h = 0x3456;
+      for (int32_t x : v) {
+        h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  // Signature layout: for each cat col, the agreed code or -1 (free).
+  std::unordered_map<std::vector<int32_t>, int64_t, SigHash> counts;
+  std::vector<int32_t> sig(k);
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = i + 1; j < s; ++j) {
+      bool any = false;
+      for (size_t c = 0; c < k; ++c) {
+        int32_t a = codes[c][i];
+        if (a >= 0 && a == codes[c][j]) {
+          sig[c] = a;
+          any = true;
+        } else {
+          sig[c] = -1;
+        }
+      }
+      if (!any) continue;
+      ++counts[sig];
+    }
+  }
+
+  out.reserve(counts.size());
+  for (const auto& [signature, count] : counts) {
+    LcaCandidate cand;
+    cand.pair_count = count;
+    for (size_t c = 0; c < k; ++c) {
+      if (signature[c] < 0) continue;
+      const Column& col = apt.table.column(cat_cols[c]);
+      cand.pattern.preds.push_back(PatternPredicate::Make(
+          apt.table, cat_cols[c], PredOp::kEq,
+          Value(col.DictEntry(signature[c]))));
+    }
+    out.push_back(std::move(cand));
+  }
+  std::sort(out.begin(), out.end(), [](const LcaCandidate& a, const LcaCandidate& b) {
+    return a.pair_count > b.pair_count;
+  });
+  return out;
+}
+
+}  // namespace cajade

@@ -1,0 +1,34 @@
+// LCA pattern-candidate generation (paper Section 3.2, adapted from Gebaly
+// et al.): meet every pair of tuples in a sample of the APT over the
+// categorical attributes — attributes where the pair agrees keep an equality
+// predicate, the rest become don't-cares. Frequently co-occurring constant
+// combinations surface as high-count candidates.
+
+#ifndef CAJADE_MINING_LCA_H_
+#define CAJADE_MINING_LCA_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mining/apt.h"
+#include "src/mining/pattern.h"
+
+namespace cajade {
+
+/// A candidate with its pair-frequency in the sample.
+struct LcaCandidate {
+  Pattern pattern;
+  int64_t pair_count = 0;
+};
+
+/// Generates distinct candidate patterns over `cat_cols` from a sample of
+/// `sample_size` APT rows (pairs of identical rows yield the full-equality
+/// meet; pairs agreeing nowhere are skipped). Candidates are returned in
+/// descending pair_count order.
+std::vector<LcaCandidate> GenerateLcaCandidates(const Apt& apt,
+                                                const std::vector<int>& cat_cols,
+                                                size_t sample_size, Rng* rng);
+
+}  // namespace cajade
+
+#endif  // CAJADE_MINING_LCA_H_

@@ -1,0 +1,475 @@
+#include "src/mining/miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "src/mining/lca.h"
+#include "src/ml/feature_matrix.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/varclus.h"
+
+namespace cajade {
+
+namespace {
+
+/// Builds an ML feature matrix from (a row sample of) the APT.
+FeatureMatrix BuildFeatureMatrix(const Apt& apt, const std::vector<int>& cols,
+                                 const PtClasses& classes, size_t row_cap,
+                                 Rng* rng) {
+  FeatureMatrix m;
+  std::vector<size_t> rows = rng->SampleIndices(apt.num_rows(), row_cap);
+  m.labels.reserve(rows.size());
+  for (size_t r : rows) m.labels.push_back(classes[apt.pt_row[r]]);
+  m.columns.reserve(cols.size());
+  for (int c : cols) {
+    const Column& col = apt.table.column(c);
+    m.names.push_back(apt.table.schema().column(c).name);
+    m.is_categorical.push_back(col.type() == DataType::kString);
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) {
+      if (col.IsNull(r)) {
+        values.push_back(std::nan(""));
+      } else if (col.type() == DataType::kString) {
+        values.push_back(static_cast<double>(col.GetCode(r)));
+      } else {
+        values.push_back(col.GetNumeric(r));
+      }
+    }
+    m.columns.push_back(std::move(values));
+  }
+  return m;
+}
+
+/// Distinct fragment boundaries of a numeric column: lambda_#frag quantiles
+/// over the view's APT rows (Section 3.4).
+std::vector<double> FragmentBoundaries(const Apt& apt, const MetricsView& view,
+                                       int col, int num_fragments) {
+  std::vector<double> values;
+  const Column& column = apt.table.column(col);
+  if (view.all_rows) {
+    values.reserve(apt.num_rows());
+    for (size_t r = 0; r < apt.num_rows(); ++r) {
+      if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
+    }
+  } else {
+    values.reserve(view.apt_rows.size());
+    for (int32_t r : view.apt_rows) {
+      if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
+    }
+  }
+  if (values.empty()) return {};
+  std::sort(values.begin(), values.end());
+  std::vector<double> bounds;
+  int q = std::max(2, num_fragments);
+  for (int i = 0; i < q; ++i) {
+    size_t idx = static_cast<size_t>(
+        std::llround(static_cast<double>(i) / (q - 1) * (values.size() - 1)));
+    bounds.push_back(values[idx]);
+  }
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+/// Single-predicate row test (fast path for incremental refinement).
+inline bool PredMatches(const PatternPredicate& p, const Table& t, size_t row) {
+  const Column& col = t.column(p.col);
+  if (col.IsNull(row)) return false;
+  if (col.type() == DataType::kString) {
+    return p.op == PredOp::kEq && p.code >= 0 && col.GetCode(row) == p.code;
+  }
+  double v = col.GetNumeric(row);
+  switch (p.op) {
+    case PredOp::kEq:
+      return v == p.num;
+    case PredOp::kLe:
+      return v <= p.num;
+    case PredOp::kGe:
+      return v >= p.num;
+  }
+  return false;
+}
+
+/// Recursive-refinement driver state.
+struct RefineContext {
+  const Apt* apt;
+  const PtClasses* classes;
+  const MetricsView* view;
+  const CajadeConfig* config;
+  StepProfiler* profiler;
+  std::vector<int> numeric_attrs;                 // A_num (APT columns)
+  std::vector<std::vector<double>> boundaries;    // per numeric attr
+  std::vector<MinedPattern>* pool;
+  size_t evaluated = 0;
+  size_t row_work = 0;
+  bool budget_exhausted = false;
+};
+
+/// Scores `pattern` from its matched APT rows, appends qualifying pool
+/// entries, and recursively refines with numeric predicates on attributes
+/// after `next_attr` (the ordering removes duplicate generation).
+void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
+                   const std::vector<int32_t>& matched_rows, size_t next_attr) {
+  if (ctx.evaluated >= ctx.config->refinement_budget ||
+      ctx.row_work >= ctx.config->refinement_row_budget) {
+    ctx.budget_exhausted = true;
+    return;
+  }
+  ++ctx.evaluated;
+
+  // Coverage bitmap from the matched rows.
+  double recall[2];
+  {
+    ScopedStep step(ctx.profiler, "F-score Calc.");
+    std::vector<uint8_t> covered(ctx.apt->pt_rows_used.size(), 0);
+    for (int32_t r : matched_rows) covered[ctx.apt->pt_row[r]] = 1;
+    for (int primary = 0; primary < 2; ++primary) {
+      PatternScores s =
+          ScoreFromCoverage(covered, *ctx.classes, *ctx.view, primary);
+      recall[primary] = s.recall;
+      if (!pattern.empty() && s.recall > ctx.config->recall_threshold) {
+        MinedPattern mp;
+        mp.pattern = pattern;
+        mp.primary = primary;
+        mp.scores = s;
+        ctx.pool->push_back(std::move(mp));
+      }
+    }
+  }
+
+  // Proposition 3.1: refinements cannot beat the parent's recall.
+  if (ctx.config->enable_recall_pruning &&
+      std::max(recall[0], recall[1]) <= ctx.config->recall_threshold) {
+    return;
+  }
+  if (pattern.NumNumericPreds(ctx.apt->table) >= ctx.config->max_numeric_attrs) {
+    return;
+  }
+
+  ScopedStep step(ctx.profiler, "Refine Patterns");
+  for (size_t a = next_attr; a < ctx.numeric_attrs.size(); ++a) {
+    int col = ctx.numeric_attrs[a];
+    if (!pattern.IsFree(col)) continue;
+    const auto& bounds = ctx.boundaries[a];
+    if (bounds.empty()) continue;
+    for (int op_i = 0; op_i < 2; ++op_i) {
+      PredOp op = op_i == 0 ? PredOp::kLe : PredOp::kGe;
+      for (size_t b = 0; b < bounds.size(); ++b) {
+        // Skip trivial predicates: <= max or >= min match everything.
+        if (op == PredOp::kLe && b + 1 == bounds.size()) continue;
+        if (op == PredOp::kGe && b == 0) continue;
+        double c = bounds[b];
+        Value constant = ctx.apt->table.column(col).type() == DataType::kInt64
+                             ? Value(static_cast<int64_t>(c))
+                             : Value(c);
+        PatternPredicate pred =
+            PatternPredicate::Make(ctx.apt->table, col, op, constant);
+        ctx.row_work += matched_rows.size();
+        std::vector<int32_t> child_rows;
+        child_rows.reserve(matched_rows.size());
+        for (int32_t r : matched_rows) {
+          if (PredMatches(pred, ctx.apt->table, static_cast<size_t>(r))) {
+            child_rows.push_back(r);
+          }
+        }
+        if (child_rows.empty()) continue;
+        Pattern child = pattern.Refine(std::move(pred));
+        ExpandPattern(ctx, child, child_rows, a + 1);
+        if (ctx.budget_exhausted) return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double DiversityScore(const Pattern& a, const Pattern& b) {
+  if (a.preds.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& pa : a.preds) {
+    const PatternPredicate* pb = b.Find(pa.col);
+    if (pb == nullptr) {
+      sum += 1.0;
+    } else if (pa.value == pb->value) {
+      sum += -2.0;
+    } else {
+      sum += -0.3;
+    }
+  }
+  return sum / static_cast<double>(a.preds.size());
+}
+
+std::vector<size_t> SelectTopKDiverse(const std::vector<MinedPattern>& pool,
+                                      size_t k, bool use_diversity) {
+  // Precompute tie-breaker keys once; building them inside the sort
+  // comparator would allocate strings on every comparison.
+  std::vector<std::string> keys(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) keys[i] = pool[i].pattern.Key();
+  std::vector<size_t> order(pool.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (pool[a].scores.fscore != pool[b].scores.fscore) {
+      return pool[a].scores.fscore > pool[b].scores.fscore;
+    }
+    return keys[a] < keys[b];
+  });
+  if (!use_diversity) {
+    if (order.size() > k) order.resize(k);
+    return order;
+  }
+  // Bound the candidate set examined by the greedy diversity pass.
+  const size_t kDiversityWindow = 2000;
+  if (order.size() > kDiversityWindow) order.resize(kDiversityWindow);
+
+  std::vector<size_t> selected;
+  std::vector<bool> used(order.size(), false);
+  while (selected.size() < k) {
+    double best_score = -1e18;
+    size_t best_pos = SIZE_MAX;
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      if (used[pos]) continue;
+      const MinedPattern& cand = pool[order[pos]];
+      double wscore = cand.scores.fscore;
+      if (!selected.empty()) {
+        double min_d = 1e18;
+        for (size_t s : selected) {
+          min_d = std::min(min_d, DiversityScore(cand.pattern, pool[s].pattern));
+        }
+        wscore += min_d;
+      }
+      if (wscore > best_score) {
+        best_score = wscore;
+        best_pos = pos;
+      }
+    }
+    if (best_pos == SIZE_MAX) break;
+    used[best_pos] = true;
+    selected.push_back(order[best_pos]);
+  }
+  return selected;
+}
+
+std::vector<int> PatternMiner::SelectAttributes(const Apt& apt,
+                                                const PtClasses& classes,
+                                                Rng* rng) const {
+  const std::vector<int>& eligible = apt.pattern_cols;
+  if (!config_->enable_feature_selection || eligible.size() <= 2) {
+    return eligible;
+  }
+  ScopedStep step(profiler_, "Feature Selection");
+
+  FeatureMatrix matrix = BuildFeatureMatrix(
+      apt, eligible, classes, std::max(config_->forest_row_cap * 2, size_t{256}),
+      rng);
+  // Degenerate labels: nothing to learn, keep everything.
+  bool has0 = false, has1 = false;
+  for (int l : matrix.labels) (l == 0 ? has0 : has1) = true;
+  if (!has0 || !has1) return eligible;
+
+  RandomForest forest;
+  ForestOptions options;
+  options.num_trees = config_->forest_trees;
+  options.tree.max_depth = config_->forest_max_depth;
+  options.row_cap = config_->forest_row_cap;
+  forest.Train(matrix, options, rng);
+  const std::vector<double>& importance = forest.importances();
+
+  double total = 0;
+  for (double v : importance) total += v;
+  if (total <= 0) return eligible;  // forest never split
+
+  // Rank by importance, keep the lambda_#sel-attr count/fraction.
+  std::vector<int> ranked(eligible.size());
+  for (size_t i = 0; i < ranked.size(); ++i) ranked[i] = static_cast<int>(i);
+  std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+    if (importance[a] != importance[b]) return importance[a] > importance[b];
+    return a < b;
+  });
+  size_t keep = config_->sel_attr <= 1.0
+                    ? static_cast<size_t>(
+                          std::ceil(config_->sel_attr * eligible.size()))
+                    : static_cast<size_t>(config_->sel_attr);
+  keep = std::min(std::max<size_t>(keep, 1), eligible.size());
+  ranked.resize(keep);
+  // Drop zero-importance attributes outright: they are constant or useless
+  // for separating the two outputs, and patterns quoting them mislead users
+  // (the failure mode Section 3.1 calls out).
+  while (ranked.size() > 1 && importance[ranked.back()] <= 0.0) {
+    ranked.pop_back();
+  }
+
+  // Cluster the kept attributes; one representative per cluster.
+  FeatureMatrix kept;
+  std::vector<double> kept_importance;
+  for (int fi : ranked) {
+    kept.names.push_back(matrix.names[fi]);
+    kept.is_categorical.push_back(matrix.is_categorical[fi]);
+    kept.columns.push_back(matrix.columns[fi]);
+    kept_importance.push_back(importance[fi]);
+  }
+  kept.labels = matrix.labels;
+  AttributeClustering clustering =
+      ClusterAttributes(kept, kept_importance, config_->cluster_threshold);
+
+  std::vector<int> out;
+  for (int rep : clustering.representatives) {
+    out.push_back(eligible[ranked[rep]]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
+                                      Rng* rng) const {
+  MineResult result;
+  result.apt_rows = apt.num_rows();
+  result.num_attributes = apt.pattern_cols.size();
+  if (apt.pt_rows_used.empty()) {
+    return Status::InvalidArgument("APT covers no provenance rows");
+  }
+
+  // (i) Attribute filtering + clustering.
+  std::vector<int> attrs = SelectAttributes(apt, classes, rng);
+  result.selected_attributes = attrs.size();
+  std::vector<int> cat_attrs, num_attrs;
+  for (int c : attrs) {
+    if (apt.table.column(c).type() == DataType::kString) {
+      cat_attrs.push_back(c);
+    } else {
+      num_attrs.push_back(c);
+    }
+  }
+
+  // Sampling for F-score calculation.
+  MetricsView view;
+  {
+    ScopedStep step(profiler_, "Sampling for F1");
+    view = config_->f1_sample_rate >= 1.0
+               ? FullView(apt, classes)
+               : SampledView(apt, classes, config_->f1_sample_rate, rng);
+  }
+
+  // (ii) LCA candidates over categorical attributes.
+  std::vector<LcaCandidate> candidates;
+  {
+    ScopedStep step(profiler_, "Gen. Pat. Cand.");
+    size_t sample = static_cast<size_t>(config_->pat_sample_rate *
+                                        static_cast<double>(apt.num_rows()));
+    sample = std::min(std::max<size_t>(sample, 16), config_->pat_sample_cap);
+    candidates = GenerateLcaCandidates(apt, cat_attrs, sample, rng);
+  }
+  result.lca_candidates = candidates.size();
+
+  // (iii) Recall-filter candidates; keep top k_cat by recall as seeds.
+  struct Seed {
+    Pattern pattern;
+    std::vector<int32_t> rows;
+    double recall;
+  };
+  std::vector<Seed> seeds;
+  {
+    ScopedStep step(profiler_, "F-score Calc.");
+    // Bound the number of candidates scored (they are ordered by pair
+    // frequency, the LCA heuristic's own ranking).
+    const size_t kMaxScored = 500;
+    size_t scored = 0;
+    for (const auto& cand : candidates) {
+      if (scored >= kMaxScored) break;
+      ++scored;
+      std::vector<int32_t> rows;
+      std::vector<uint8_t> covered(apt.pt_rows_used.size(), 0);
+      if (view.all_rows) {
+        for (size_t r = 0; r < apt.num_rows(); ++r) {
+          if (cand.pattern.Matches(apt.table, r)) {
+            rows.push_back(static_cast<int32_t>(r));
+            covered[apt.pt_row[r]] = 1;
+          }
+        }
+      } else {
+        for (int32_t r : view.apt_rows) {
+          if (cand.pattern.Matches(apt.table, static_cast<size_t>(r))) {
+            rows.push_back(r);
+            covered[apt.pt_row[r]] = 1;
+          }
+        }
+      }
+      double best_recall = 0;
+      for (int primary = 0; primary < 2; ++primary) {
+        best_recall = std::max(
+            best_recall,
+            ScoreFromCoverage(covered, classes, view, primary).recall);
+      }
+      if (best_recall > config_->recall_threshold) {
+        seeds.push_back({cand.pattern, std::move(rows), best_recall});
+      }
+    }
+    std::sort(seeds.begin(), seeds.end(),
+              [](const Seed& a, const Seed& b) { return a.recall > b.recall; });
+    if (seeds.size() > static_cast<size_t>(config_->k_cat)) {
+      seeds.resize(config_->k_cat);
+    }
+  }
+  // The empty pattern seeds numeric-only refinements.
+  {
+    Seed empty;
+    empty.recall = 1.0;
+    if (view.all_rows) {
+      empty.rows.resize(apt.num_rows());
+      for (size_t r = 0; r < apt.num_rows(); ++r) {
+        empty.rows[r] = static_cast<int32_t>(r);
+      }
+    } else {
+      empty.rows = view.apt_rows;
+    }
+    seeds.push_back(std::move(empty));
+  }
+
+  // (iv) Numeric refinement.
+  std::vector<MinedPattern> pool;
+  RefineContext ctx;
+  ctx.apt = &apt;
+  ctx.classes = &classes;
+  ctx.view = &view;
+  ctx.config = config_;
+  ctx.profiler = profiler_;
+  ctx.numeric_attrs = num_attrs;
+  ctx.pool = &pool;
+  {
+    ScopedStep step(profiler_, "Refine Patterns");
+    for (size_t a = 0; a < num_attrs.size(); ++a) {
+      ctx.boundaries.push_back(
+          FragmentBoundaries(apt, view, num_attrs[a], config_->num_fragments));
+    }
+  }
+  for (const auto& seed : seeds) {
+    ExpandPattern(ctx, seed.pattern, seed.rows, 0);
+    if (ctx.budget_exhausted) break;
+  }
+  result.patterns_evaluated = ctx.evaluated;
+  result.budget_exhausted = ctx.budget_exhausted;
+
+  // (v) Diversity-aware top-k.
+  std::vector<size_t> picked = SelectTopKDiverse(
+      pool, static_cast<size_t>(config_->top_k), config_->enable_diversity);
+
+  // Exact relative supports (Definition 6) on the full APT for the winners.
+  MetricsView full = FullView(apt, classes);
+  for (size_t idx : picked) {
+    MinedPattern mp = pool[idx];
+    std::vector<uint8_t> covered;
+    ComputeCoverage(mp.pattern, apt, full, &covered);
+    PatternScores sp = ScoreFromCoverage(covered, classes, full, mp.primary);
+    PatternScores so = ScoreFromCoverage(covered, classes, full, 1 - mp.primary);
+    mp.exact = sp;
+    mp.support_primary = sp.tp;
+    mp.total_primary = sp.tp + sp.fn;
+    mp.support_other = so.tp;
+    mp.total_other = so.tp + so.fn;
+    result.top_k.push_back(std::move(mp));
+  }
+  return result;
+}
+
+}  // namespace cajade

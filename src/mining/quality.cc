@@ -1,0 +1,114 @@
+#include "src/mining/quality.h"
+
+namespace cajade {
+
+MetricsView FullView(const Apt& apt, const PtClasses& classes) {
+  MetricsView view;
+  view.all_rows = true;
+  view.pt_sampled.assign(apt.pt_rows_used.size(), 1);
+  for (size_t p = 0; p < classes.size(); ++p) {
+    if (classes[p] == 0) {
+      ++view.n1;
+    } else {
+      ++view.n2;
+    }
+  }
+  return view;
+}
+
+MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
+                        Rng* rng) {
+  if (rate >= 1.0) return FullView(apt, classes);
+  MetricsView view;
+  view.all_rows = false;
+  size_t m = apt.pt_rows_used.size();
+  view.pt_sampled.assign(m, 0);
+  for (size_t p = 0; p < m; ++p) {
+    if (rng->Bernoulli(rate)) view.pt_sampled[p] = 1;
+  }
+  // Guarantee at least one sampled position per class so ratios are defined.
+  bool has[2] = {false, false};
+  for (size_t p = 0; p < m; ++p) {
+    if (view.pt_sampled[p]) has[classes[p]] = true;
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    if (has[cls]) continue;
+    for (size_t p = 0; p < m; ++p) {
+      if (classes[p] == cls) {
+        view.pt_sampled[p] = 1;
+        break;
+      }
+    }
+  }
+  for (size_t p = 0; p < m; ++p) {
+    if (!view.pt_sampled[p]) continue;
+    if (classes[p] == 0) {
+      ++view.n1;
+    } else {
+      ++view.n2;
+    }
+  }
+  view.apt_rows.reserve(apt.num_rows() / 2);
+  for (size_t r = 0; r < apt.num_rows(); ++r) {
+    if (view.pt_sampled[apt.pt_row[r]]) {
+      view.apt_rows.push_back(static_cast<int32_t>(r));
+    }
+  }
+  return view;
+}
+
+void ComputeCoverage(const Pattern& pattern, const Apt& apt,
+                     const MetricsView& view, std::vector<uint8_t>* covered) {
+  covered->assign(apt.pt_rows_used.size(), 0);
+  if (view.all_rows) {
+    for (size_t r = 0; r < apt.num_rows(); ++r) {
+      int32_t p = apt.pt_row[r];
+      if ((*covered)[p]) continue;  // a PT row is covered once
+      if (pattern.Matches(apt.table, r)) (*covered)[p] = 1;
+    }
+    return;
+  }
+  for (int32_t r : view.apt_rows) {
+    int32_t p = apt.pt_row[r];
+    if ((*covered)[p]) continue;
+    if (pattern.Matches(apt.table, static_cast<size_t>(r))) (*covered)[p] = 1;
+  }
+}
+
+PatternScores ScoreFromCoverage(const std::vector<uint8_t>& covered,
+                                const PtClasses& classes,
+                                const MetricsView& view, int primary) {
+  PatternScores s;
+  int64_t covered_primary = 0, covered_other = 0;
+  for (size_t p = 0; p < covered.size(); ++p) {
+    if (!view.pt_sampled[p] || !covered[p]) continue;
+    if (classes[p] == primary) {
+      ++covered_primary;
+    } else {
+      ++covered_other;
+    }
+  }
+  int64_t n_primary =
+      static_cast<int64_t>(primary == 0 ? view.n1 : view.n2);
+  s.tp = covered_primary;
+  s.fp = covered_other;
+  s.fn = n_primary - covered_primary;
+  double denom_p = static_cast<double>(s.tp + s.fp);
+  double denom_r = static_cast<double>(s.tp + s.fn);
+  s.precision = denom_p > 0 ? static_cast<double>(s.tp) / denom_p : 0.0;
+  s.recall = denom_r > 0 ? static_cast<double>(s.tp) / denom_r : 0.0;
+  s.fscore = (s.precision + s.recall) > 0
+                 ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+                 : 0.0;
+  return s;
+}
+
+PatternScores ScorePattern(const Pattern& pattern, const Apt& apt,
+                           const PtClasses& classes, const MetricsView& view,
+                           int primary) {
+  std::vector<uint8_t> covered;
+  ComputeCoverage(pattern, apt, view, &covered);
+  return ScoreFromCoverage(covered, classes, view, primary);
+}
+
+}  // namespace cajade

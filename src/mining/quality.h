@@ -1,0 +1,70 @@
+// Quality measures for explanation patterns (paper Definition 7): coverage
+// of provenance rows through the APT, precision/recall/F-score of a pattern
+// for one output tuple against the other, optionally estimated on a sample
+// of the provenance (Section 3.3, lambda_F1-samp).
+
+#ifndef CAJADE_MINING_QUALITY_H_
+#define CAJADE_MINING_QUALITY_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mining/apt.h"
+#include "src/mining/pattern.h"
+
+namespace cajade {
+
+/// Class labels for PT rows: which user-question output a PT row belongs to.
+/// Indexed by position in Apt::pt_rows_used; 0 = t1, 1 = t2.
+using PtClasses = std::vector<int8_t>;
+
+/// \brief A (possibly sampled) view of the APT over which metrics are
+/// computed.
+struct MetricsView {
+  /// APT rows to scan (ascending). Empty means "all rows".
+  std::vector<int32_t> apt_rows;
+  bool all_rows = true;
+  /// Per PT position: whether it is in the sample.
+  std::vector<uint8_t> pt_sampled;
+  /// Sampled class sizes |PT(t1)|, |PT(t2)| (full sizes when not sampling).
+  size_t n1 = 0;
+  size_t n2 = 0;
+};
+
+/// Builds the exact (no sampling) view.
+MetricsView FullView(const Apt& apt, const PtClasses& classes);
+
+/// Builds a sampled view: PT positions are sampled at `rate` (at least one
+/// from each class kept when available), and APT rows restricted to sampled
+/// positions (the paper's "Sampling for F1" step).
+MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
+                        Rng* rng);
+
+/// Coverage bitmap (Definition 7a): out[p] = 1 iff some APT row of PT
+/// position p (within the view) matches the pattern.
+void ComputeCoverage(const Pattern& pattern, const Apt& apt,
+                     const MetricsView& view, std::vector<uint8_t>* covered);
+
+/// Metric values of a pattern for one primary tuple.
+struct PatternScores {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double fscore = 0.0;
+};
+
+/// Scores from a coverage bitmap with `primary` = 0 (t1) or 1 (t2).
+PatternScores ScoreFromCoverage(const std::vector<uint8_t>& covered,
+                                const PtClasses& classes,
+                                const MetricsView& view, int primary);
+
+/// Convenience: coverage + scoring in one call.
+PatternScores ScorePattern(const Pattern& pattern, const Apt& apt,
+                           const PtClasses& classes, const MetricsView& view,
+                           int primary);
+
+}  // namespace cajade
+
+#endif  // CAJADE_MINING_QUALITY_H_

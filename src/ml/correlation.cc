@@ -1,0 +1,106 @@
+#include "src/ml/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace cajade {
+
+double PearsonAbs(const std::vector<double>& x, const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    ++n;
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  if (n < 2) return 0.0;
+  double dn = static_cast<double>(n);
+  double cov = sxy - sx * sy / dn;
+  double vx = sxx - sx * sx / dn;
+  double vy = syy - sy * sy / dn;
+  if (vx <= 1e-12 || vy <= 1e-12) return 0.0;
+  return std::min(1.0, std::fabs(cov) / std::sqrt(vx * vy));
+}
+
+double CramersV(const std::vector<double>& x, const std::vector<double>& y) {
+  // Contingency table over observed code pairs.
+  std::map<std::pair<int64_t, int64_t>, double> joint;
+  std::map<int64_t, double> mx, my;
+  double n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    auto a = static_cast<int64_t>(x[i]);
+    auto b = static_cast<int64_t>(y[i]);
+    joint[{a, b}] += 1;
+    mx[a] += 1;
+    my[b] += 1;
+    n += 1;
+  }
+  if (n < 2 || mx.size() < 2 || my.size() < 2) {
+    // A constant attribute is perfectly "explained": treat as no association
+    // unless both are constant (then they are trivially redundant).
+    return (mx.size() <= 1 && my.size() <= 1) ? 1.0 : 0.0;
+  }
+  // Chi-squared over the full grid: zero-observed cells still contribute
+  // their expected counts.
+  double chi2 = 0.0;
+  for (const auto& [a, count_a] : mx) {
+    for (const auto& [b, count_b] : my) {
+      double expected = count_a * count_b / n;
+      if (expected <= 0) continue;
+      auto it = joint.find({a, b});
+      double observed = it == joint.end() ? 0.0 : it->second;
+      double d = observed - expected;
+      chi2 += d * d / expected;
+    }
+  }
+  double k = static_cast<double>(std::min(mx.size(), my.size()));
+  double v = std::sqrt(chi2 / (n * (k - 1.0)));
+  return std::min(1.0, v);
+}
+
+double CorrelationRatio(const std::vector<double>& categories,
+                        const std::vector<double>& values) {
+  std::unordered_map<int64_t, std::pair<double, double>> groups;  // sum, count
+  double total_sum = 0;
+  double n = 0;
+  for (size_t i = 0; i < categories.size(); ++i) {
+    if (std::isnan(categories[i]) || std::isnan(values[i])) continue;
+    auto& g = groups[static_cast<int64_t>(categories[i])];
+    g.first += values[i];
+    g.second += 1;
+    total_sum += values[i];
+    n += 1;
+  }
+  if (n < 2 || groups.size() < 2) return 0.0;
+  double mean = total_sum / n;
+  double between = 0;
+  for (const auto& [_, g] : groups) {
+    double gm = g.first / g.second;
+    between += g.second * (gm - mean) * (gm - mean);
+  }
+  double total_var = 0;
+  for (size_t i = 0; i < categories.size(); ++i) {
+    if (std::isnan(categories[i]) || std::isnan(values[i])) continue;
+    total_var += (values[i] - mean) * (values[i] - mean);
+  }
+  if (total_var <= 1e-12) return 0.0;
+  return std::min(1.0, std::sqrt(between / total_var));
+}
+
+double Association(const FeatureMatrix& data, int f1, int f2) {
+  bool c1 = data.is_categorical[f1];
+  bool c2 = data.is_categorical[f2];
+  if (!c1 && !c2) return PearsonAbs(data.columns[f1], data.columns[f2]);
+  if (c1 && c2) return CramersV(data.columns[f1], data.columns[f2]);
+  return c1 ? CorrelationRatio(data.columns[f1], data.columns[f2])
+            : CorrelationRatio(data.columns[f2], data.columns[f1]);
+}
+
+}  // namespace cajade

@@ -1,0 +1,32 @@
+// Association measures between attributes: Pearson correlation for
+// numeric-numeric, Cramer's V for categorical-categorical, and the
+// correlation ratio (eta) for mixed pairs. Substrate for VARCLUS-style
+// attribute clustering (paper Section 3.1).
+
+#ifndef CAJADE_ML_CORRELATION_H_
+#define CAJADE_ML_CORRELATION_H_
+
+#include <vector>
+
+#include "src/ml/feature_matrix.h"
+
+namespace cajade {
+
+/// |Pearson r| of two numeric vectors (NaN pairs skipped); 0 when degenerate.
+double PearsonAbs(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Cramer's V of two categorical (code-valued) vectors; in [0, 1].
+double CramersV(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Correlation ratio eta: how much of numeric `y`'s variance the categorical
+/// `x` explains; in [0, 1].
+double CorrelationRatio(const std::vector<double>& categories,
+                        const std::vector<double>& values);
+
+/// Dispatches on the feature kinds: Pearson (num-num), Cramer's V (cat-cat),
+/// eta (mixed). Symmetric; returns a value in [0, 1].
+double Association(const FeatureMatrix& data, int f1, int f2);
+
+}  // namespace cajade
+
+#endif  // CAJADE_ML_CORRELATION_H_

@@ -1,0 +1,155 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace cajade {
+
+namespace {
+
+double Gini(size_t n1, size_t n) {
+  if (n == 0) return 0.0;
+  double p = static_cast<double>(n1) / static_cast<double>(n);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Train(const FeatureMatrix& data, const std::vector<int>& rows,
+                         const TreeOptions& options, Rng* rng,
+                         std::vector<double>* importance) {
+  nodes_.clear();
+  std::vector<int> working = rows;
+  Build(data, working, 0, options, rng, importance, rows.size());
+}
+
+int DecisionTree::Build(const FeatureMatrix& data, std::vector<int>& rows,
+                        int depth, const TreeOptions& options, Rng* rng,
+                        std::vector<double>* importance, size_t total_rows) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  size_t n = rows.size();
+  size_t n1 = 0;
+  for (int r : rows) n1 += data.labels[r];
+  double p1 = n == 0 ? 0.0 : static_cast<double>(n1) / static_cast<double>(n);
+  nodes_[node_id].p1 = p1;
+
+  bool pure = (n1 == 0 || n1 == n);
+  if (depth >= options.max_depth || n < options.min_samples_split || pure) {
+    return node_id;
+  }
+
+  // Select feature subset.
+  size_t p = data.num_features();
+  std::vector<int> feats;
+  if (options.features_per_split == 0 || options.features_per_split >= p) {
+    feats.resize(p);
+    std::iota(feats.begin(), feats.end(), 0);
+  } else {
+    for (size_t i : rng->SampleIndices(p, options.features_per_split)) {
+      feats.push_back(static_cast<int>(i));
+    }
+  }
+
+  double parent_gini = Gini(n1, n);
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  bool best_categorical = false;
+
+  for (int f : feats) {
+    const std::vector<double>& col = data.columns[f];
+    bool cat = data.is_categorical[f];
+    // Collect distinct candidate split points from a bounded sample of the
+    // node's rows.
+    std::vector<double> candidates;
+    {
+      std::unordered_set<int64_t> seen;
+      size_t step = std::max<size_t>(1, n / (options.max_candidates * 4));
+      for (size_t i = 0; i < n; i += step) {
+        double v = col[rows[i]];
+        if (std::isnan(v)) continue;
+        int64_t bits;
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        if (seen.insert(bits).second) candidates.push_back(v);
+        if (candidates.size() >= options.max_candidates) break;
+      }
+    }
+    for (double c : candidates) {
+      size_t ln = 0, ln1 = 0;
+      for (int r : rows) {
+        double v = col[r];
+        bool left = cat ? (v == c) : (!std::isnan(v) && v <= c);
+        if (left) {
+          ++ln;
+          ln1 += data.labels[r];
+        }
+      }
+      size_t rn = n - ln;
+      if (ln < options.min_samples_leaf || rn < options.min_samples_leaf) continue;
+      size_t rn1 = n1 - ln1;
+      double child =
+          (static_cast<double>(ln) * Gini(ln1, ln) +
+           static_cast<double>(rn) * Gini(rn1, rn)) /
+          static_cast<double>(n);
+      double gain = parent_gini - child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = c;
+        best_categorical = cat;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  if (importance != nullptr) {
+    (*importance)[best_feature] +=
+        best_gain * static_cast<double>(n) / static_cast<double>(total_rows);
+  }
+
+  // Partition rows.
+  std::vector<int> left_rows, right_rows;
+  left_rows.reserve(n);
+  right_rows.reserve(n);
+  const std::vector<double>& col = data.columns[best_feature];
+  for (int r : rows) {
+    double v = col[r];
+    bool left = best_categorical ? (v == best_threshold)
+                                 : (!std::isnan(v) && v <= best_threshold);
+    (left ? left_rows : right_rows).push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  int left_id = Build(data, left_rows, depth + 1, options, rng, importance,
+                      total_rows);
+  int right_id = Build(data, right_rows, depth + 1, options, rng, importance,
+                       total_rows);
+  nodes_[node_id].leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].categorical = best_categorical;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.5;
+  int id = 0;
+  while (!nodes_[id].leaf) {
+    const Node& node = nodes_[id];
+    double v = features[node.feature];
+    bool left = node.categorical ? (v == node.threshold)
+                                 : (!std::isnan(v) && v <= node.threshold);
+    id = left ? node.left : node.right;
+  }
+  return nodes_[id].p1;
+}
+
+}  // namespace cajade

@@ -1,0 +1,62 @@
+// CART binary-classification decision tree with Gini impurity, supporting
+// numeric threshold splits (x <= t) and categorical equality splits (x == v).
+// Substrate for the random forest used in attribute relevance filtering
+// (paper Section 3.1).
+
+#ifndef CAJADE_ML_DECISION_TREE_H_
+#define CAJADE_ML_DECISION_TREE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/feature_matrix.h"
+
+namespace cajade {
+
+/// Tree growth parameters.
+struct TreeOptions {
+  int max_depth = 8;
+  size_t min_samples_split = 8;
+  size_t min_samples_leaf = 3;
+  /// Features considered per split; 0 = all, otherwise a random subset of
+  /// this size (random forests pass ~sqrt(p)).
+  size_t features_per_split = 0;
+  /// Candidate thresholds/values examined per feature per split.
+  size_t max_candidates = 16;
+};
+
+/// \brief A trained CART tree.
+class DecisionTree {
+ public:
+  /// Trains on `rows` (indexes into `data`). Importance (total weighted Gini
+  /// decrease per feature) is accumulated into `importance` when non-null.
+  void Train(const FeatureMatrix& data, const std::vector<int>& rows,
+             const TreeOptions& options, Rng* rng,
+             std::vector<double>* importance = nullptr);
+
+  /// P(label=1) for a feature row vector.
+  double PredictProba(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    double p1 = 0.0;          // leaf: probability of class 1
+    int feature = -1;
+    bool categorical = false;
+    double threshold = 0.0;   // numeric: x <= threshold; categorical: x == threshold
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const FeatureMatrix& data, std::vector<int>& rows, int depth,
+            const TreeOptions& options, Rng* rng, std::vector<double>* importance,
+            size_t total_rows);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_ML_DECISION_TREE_H_

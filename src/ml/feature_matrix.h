@@ -1,0 +1,28 @@
+// Column-major feature matrix with binary labels: the interchange format
+// between APTs and the ML components (random forest relevance filtering,
+// attribute clustering).
+
+#ifndef CAJADE_ML_FEATURE_MATRIX_H_
+#define CAJADE_ML_FEATURE_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+namespace cajade {
+
+/// \brief Features as doubles (categorical columns hold dictionary codes)
+/// plus 0/1 labels.
+struct FeatureMatrix {
+  std::vector<std::string> names;
+  std::vector<bool> is_categorical;
+  /// columns[f][r]: value of feature f in row r. NaN encodes null.
+  std::vector<std::vector<double>> columns;
+  std::vector<int> labels;
+
+  size_t num_rows() const { return labels.size(); }
+  size_t num_features() const { return columns.size(); }
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_ML_FEATURE_MATRIX_H_

@@ -1,0 +1,134 @@
+#include "src/provenance/provenance.h"
+
+#include <map>
+
+#include "src/common/string_util.h"
+#include "src/exec/executor.h"
+
+namespace cajade {
+
+std::string MangleRelationName(const std::string& relation) {
+  std::string out;
+  out.reserve(relation.size() + 4);
+  for (char c : relation) {
+    if (c == '_') {
+      out += "__";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ProvenanceColumnName(const std::string& relation,
+                                 const std::string& attribute) {
+  return "prov_" + MangleRelationName(relation) + "_" + attribute;
+}
+
+int ProvenanceTable::FindColumnForAlias(const std::string& alias,
+                                        const std::string& attribute) const {
+  for (size_t a = 0; a < aliases.size(); ++a) {
+    if (aliases[a] != alias) continue;
+    // Scan this alias's column block for the attribute suffix.
+    int begin = alias_column_offset[a];
+    int end = (a + 1 < aliases.size())
+                  ? alias_column_offset[a + 1]
+                  : static_cast<int>(table.schema().num_columns());
+    for (int c = begin; c < end; ++c) {
+      const std::string& name = table.schema().column(c).name;
+      // Names are prov_<rel>[_<alias>]_<attr>; match on the attr suffix.
+      if (name.size() > attribute.size() &&
+          name.compare(name.size() - attribute.size(), attribute.size(),
+                       attribute) == 0 &&
+          name[name.size() - attribute.size() - 1] == '_') {
+        return c;
+      }
+    }
+  }
+  return -1;
+}
+
+int ProvenanceTable::FindColumn(const std::string& relation,
+                                const std::string& attribute) const {
+  for (size_t a = 0; a < aliases.size(); ++a) {
+    if (relations[a] != relation) continue;
+    int c = FindColumnForAlias(aliases[a], attribute);
+    if (c >= 0) return c;
+  }
+  return -1;
+}
+
+std::vector<int> ProvenanceTable::AliasesOfRelation(
+    const std::string& relation) const {
+  std::vector<int> out;
+  for (size_t a = 0; a < relations.size(); ++a) {
+    if (relations[a] == relation) out.push_back(static_cast<int>(a));
+  }
+  return out;
+}
+
+Result<ProvenanceTable> ComputeProvenance(const Database& db,
+                                          const ParsedQuery& query) {
+  QueryExecutor executor(&db);
+  ASSIGN_OR_RETURN(QueryOutput qout, executor.ExecuteWithProvenance(query));
+
+  ProvenanceTable pt;
+  pt.result = std::move(qout.result);
+  pt.aliases = qout.spj.aliases;
+  pt.relations = qout.spj.relations;
+  pt.output_to_pt_rows = std::move(qout.group_rows);
+  pt.group_by_output_cols = std::move(qout.group_by_output_cols);
+
+  // Count alias occurrences per relation for disambiguation.
+  std::map<std::string, int> relation_use_count;
+  for (const auto& rel : pt.relations) ++relation_use_count[rel];
+
+  // Build the prov_-renamed schema; column order matches the working table.
+  Table& working = qout.spj.table;
+  Schema schema;
+  size_t col = 0;
+  for (size_t a = 0; a < pt.aliases.size(); ++a) {
+    pt.alias_column_offset.push_back(static_cast<int>(col));
+    ASSIGN_OR_RETURN(TablePtr base, db.GetTable(pt.relations[a]));
+    bool ambiguous = relation_use_count[pt.relations[a]] > 1;
+    for (const auto& cdef : base->schema().columns()) {
+      std::string name =
+          ambiguous ? "prov_" + MangleRelationName(pt.relations[a]) + "_" +
+                          pt.aliases[a] + "_" + cdef.name
+                    : ProvenanceColumnName(pt.relations[a], cdef.name);
+      RETURN_NOT_OK(schema.AddColumn(name, cdef.type, cdef.mining_excluded));
+      ++col;
+    }
+  }
+
+  // Map group-by working columns ("alias.column") to PT column indexes.
+  // The working schema has identical column order, so indexes carry over.
+  for (const auto& g : query.group_by) {
+    // Resolve the group-by ref against the working table by name.
+    for (size_t c = 0; c < working.schema().num_columns(); ++c) {
+      const std::string& wname = working.schema().column(c).name;
+      auto dot = wname.find('.');
+      std::string walias = wname.substr(0, dot);
+      std::string wcol = wname.substr(dot + 1);
+      bool qualifier_ok = g->table.empty() || g->table == walias;
+      if (qualifier_ok && g->column == wcol) {
+        pt.group_by_pt_cols.push_back(static_cast<int>(c));
+        // Locate the alias's relation for context-copy exclusion.
+        for (size_t a = 0; a < pt.aliases.size(); ++a) {
+          if (pt.aliases[a] == walias) {
+            pt.group_by_source_attrs.emplace_back(pt.relations[a], wcol);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  size_t num_rows = working.num_rows();
+  std::vector<Column> columns = working.TakeColumns();
+  pt.table = Table("PT", std::move(schema), std::move(columns), num_rows);
+  return pt;
+}
+
+}  // namespace cajade

@@ -1,0 +1,71 @@
+// Why-provenance for single-block SPJA queries (paper Definition 1).
+//
+// The provenance table PT(Q, D) of an aggregate query is the pre-aggregation
+// join result: a subset of the cross product of the accessed relations. Each
+// output tuple t's provenance PT(Q, D, t) is the partition of those rows
+// that fed t's group. Attributes are renamed prov_<relation>_<attribute>
+// (underscores in relation names doubled), matching the paper's appendix
+// output, e.g. prov_player__game__stats_minutes.
+
+#ifndef CAJADE_PROVENANCE_PROVENANCE_H_
+#define CAJADE_PROVENANCE_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/expr.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// Mangles a relation name for provenance-column naming ("player_game_stats"
+/// -> "player__game__stats").
+std::string MangleRelationName(const std::string& relation);
+
+/// Builds the provenance column name for (relation, attribute).
+std::string ProvenanceColumnName(const std::string& relation,
+                                 const std::string& attribute);
+
+/// \brief The provenance of a query: output, PT, and the per-output-tuple
+/// partition of PT rows.
+struct ProvenanceTable {
+  /// The query answer.
+  Table result;
+  /// PT(Q, D): one row per pre-aggregation join row, prov_-renamed columns.
+  Table table;
+  /// Query FROM aliases in order, and the relations they name.
+  std::vector<std::string> aliases;
+  std::vector<std::string> relations;
+  /// alias index -> first PT column of that alias's attributes.
+  std::vector<int> alias_column_offset;
+  /// output row -> PT row ids (PT(Q, D, t)).
+  std::vector<std::vector<int64_t>> output_to_pt_rows;
+  /// Output-column indexes holding group-by values.
+  std::vector<int> group_by_output_cols;
+  /// PT column indexes used as group-by attributes (excluded from patterns,
+  /// Section 2.5).
+  std::vector<int> group_by_pt_cols;
+  /// The same attributes as (relation, attribute) pairs, so that context
+  /// copies of query relations in an APT exclude them too.
+  std::vector<std::pair<std::string, std::string>> group_by_source_attrs;
+
+  /// PT column index of `relation`.`attribute`, searching all aliases bound
+  /// to that relation. -1 when absent.
+  int FindColumn(const std::string& relation, const std::string& attribute) const;
+
+  /// PT column index for a specific alias.
+  int FindColumnForAlias(const std::string& alias,
+                         const std::string& attribute) const;
+
+  /// All alias indexes bound to `relation`.
+  std::vector<int> AliasesOfRelation(const std::string& relation) const;
+};
+
+/// Executes `query` against `db` and assembles its provenance.
+Result<ProvenanceTable> ComputeProvenance(const Database& db,
+                                          const ParsedQuery& query);
+
+}  // namespace cajade
+
+#endif  // CAJADE_PROVENANCE_PROVENANCE_H_

@@ -1,0 +1,184 @@
+#include "src/sql/expr.h"
+
+namespace cajade {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::MakeAggregate(AggFunc fn, ExprPtr arg) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = fn;
+  e->arg = std::move(arg);
+  return e;
+}
+
+bool Expr::ContainsAggregate() const {
+  switch (kind) {
+    case ExprKind::kAggregate:
+      return true;
+    case ExprKind::kBinary:
+      return left->ContainsAggregate() || right->ContainsAggregate();
+    default:
+      return false;
+  }
+}
+
+void Expr::CollectColumnRefs(std::vector<Expr*>* out) {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      out->push_back(this);
+      break;
+    case ExprKind::kBinary:
+      left->CollectColumnRefs(out);
+      right->CollectColumnRefs(out);
+      break;
+    case ExprKind::kAggregate:
+      if (arg != nullptr) arg->CollectColumnRefs(out);
+      break;
+    default:
+      break;
+  }
+}
+
+void Expr::CollectAggregates(std::vector<Expr*>* out) {
+  switch (kind) {
+    case ExprKind::kAggregate:
+      out->push_back(this);
+      break;
+    case ExprKind::kBinary:
+      left->CollectAggregates(out);
+      right->CollectAggregates(out);
+      break;
+    default:
+      break;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kLiteral:
+      return literal.is_string() ? "'" + literal.AsString() + "'" : literal.ToString();
+    case ExprKind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpToString(op) + " " +
+             right->ToString() + ")";
+    case ExprKind::kAggregate:
+      return std::string(AggFuncToString(agg)) + "(" +
+             (arg == nullptr ? "*" : arg->ToString()) + ")";
+  }
+  return "?";
+}
+
+ExprPtr CloneExpr(const ExprPtr& e) {
+  if (e == nullptr) return nullptr;
+  auto copy = std::make_shared<Expr>(*e);
+  copy->left = CloneExpr(e->left);
+  copy->right = CloneExpr(e->right);
+  copy->arg = CloneExpr(e->arg);
+  return copy;
+}
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->op == BinaryOp::kAnd) {
+    SplitConjuncts(e->left, out);
+    SplitConjuncts(e->right, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].expr->ToString();
+    out += " AS " + select[i].name;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].table_name;
+    if (from[i].alias != from[i].table_name) out += " " + from[i].alias;
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace cajade

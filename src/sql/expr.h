@@ -1,0 +1,127 @@
+// Expression AST for the single-block SQL subset (Section 2 of the paper:
+// select-from-where-group-by with one aggregate function; we additionally
+// allow arithmetic over aggregates, e.g. 1.0*SUM(x)/COUNT(*)).
+
+#ifndef CAJADE_SQL_EXPR_H_
+#define CAJADE_SQL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace cajade {
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kAggregate,
+};
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class AggFunc {
+  kCount,  // COUNT(*) when arg is null
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+const char* AggFuncToString(AggFunc fn);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// \brief An expression tree node.
+///
+/// Column references carry an optional table qualifier; after binding,
+/// `bound_index` holds the column's position in the table the expression is
+/// evaluated against.
+struct Expr {
+  ExprKind kind;
+
+  // kColumnRef
+  std::string table;   // qualifier (alias), empty when unqualified
+  std::string column;
+  int bound_alias = -1;  // index of the FROM-entry the ref resolved to
+  int bound_index = -1;  // column position within that relation / scope
+
+  // kLiteral
+  Value literal;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kAggregate
+  AggFunc agg = AggFunc::kCount;
+  ExprPtr arg;  // nullptr => COUNT(*)
+
+  static ExprPtr MakeColumn(std::string table, std::string column);
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeAggregate(AggFunc fn, ExprPtr arg);
+
+  /// True if any node in the subtree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Collects pointers to all column-ref nodes outside aggregate arguments
+  /// (when `inside_agg` is false) or all column refs (when true).
+  void CollectColumnRefs(std::vector<Expr*>* out);
+
+  /// Collects pointers to all aggregate nodes in the subtree.
+  void CollectAggregates(std::vector<Expr*>* out);
+
+  /// SQL-ish rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// Splits a conjunction (AND tree) into its conjuncts.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// Deep copy (bindings are copied as-is). Null input yields null.
+ExprPtr CloneExpr(const ExprPtr& e);
+
+/// One SELECT-list entry.
+struct SelectItem {
+  ExprPtr expr;
+  std::string name;  // output column name (AS alias or derived)
+};
+
+/// FROM-list entry.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // defaults to table_name
+};
+
+/// \brief A parsed (pre-binding) single-block query.
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  ExprPtr where;                 // may be null
+  std::vector<ExprPtr> group_by; // column refs
+
+  std::string ToString() const;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_SQL_EXPR_H_

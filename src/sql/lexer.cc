@@ -1,0 +1,125 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "DISTINCT",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      // Line comment.
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        if (sql[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            Format("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, text, start});
+      continue;
+    }
+    // Two-character operators.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case ',':
+      case '(':
+      case ')':
+      case '.':
+      case '*':
+      case '/':
+      case '+':
+      case '-':
+      case '=':
+      case '<':
+      case '>':
+        tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+        ++i;
+        break;
+      default:
+        return Status::ParseError(
+            Format("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace cajade

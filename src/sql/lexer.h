@@ -1,0 +1,34 @@
+// SQL tokenizer for the single-block subset.
+
+#ifndef CAJADE_SQL_LEXER_H_
+#define CAJADE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cajade {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,   // SELECT FROM WHERE GROUP BY AS AND OR
+  kNumber,
+  kString,    // 'single quoted'
+  kSymbol,    // , ( ) . * / + - = < > <= >= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // keywords uppercased; symbols canonical (e.g. "<>")
+  size_t position;   // byte offset in the input (error messages)
+};
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively and reported
+/// uppercase; identifiers preserve their original case.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace cajade
+
+#endif  // CAJADE_SQL_LEXER_H_

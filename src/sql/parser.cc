@@ -1,0 +1,289 @@
+#include "src/sql/parser.h"
+
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+#include "src/sql/lexer.h"
+
+namespace cajade {
+
+namespace {
+
+/// Recursive-descent parser over a token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery() {
+    ParsedQuery q;
+    RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (PeekKeyword("DISTINCT")) Advance();  // accepted and ignored
+    RETURN_NOT_OK(ParseSelectList(&q));
+    RETURN_NOT_OK(ExpectKeyword("FROM"));
+    RETURN_NOT_OK(ParseFromList(&q));
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr col, ParsePrimary());
+        if (col->kind != ExprKind::kColumnRef) {
+          return Status::ParseError("GROUP BY entries must be column references");
+        }
+        q.group_by.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError(
+          Format("trailing input at offset %zu: '%s'", Peek().position,
+                 Peek().text.c_str()));
+    }
+    return q;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpr() {
+    ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekSymbol(const std::string& s) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == s;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (PeekSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::ParseError(Format("expected %s at offset %zu (got '%s')",
+                                       kw.c_str(), Peek().position,
+                                       Peek().text.c_str()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    while (true) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      std::string name;
+      if (PeekKeyword("AS")) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::ParseError("expected identifier after AS");
+        }
+        name = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        // Bare alias: SELECT expr alias.
+        name = Advance().text;
+      } else {
+        name = DeriveName(*e, q->select.size());
+      }
+      q->select.push_back({std::move(e), std::move(name)});
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  static std::string DeriveName(const Expr& e, size_t index) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        return e.column;
+      case ExprKind::kAggregate:
+        return ToLower(AggFuncToString(e.agg));
+      default:
+        return Format("expr%zu", index);
+    }
+  }
+
+  Status ParseFromList(ParsedQuery* q) {
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::ParseError(
+            Format("expected table name at offset %zu", Peek().position));
+      }
+      TableRef ref;
+      ref.table_name = Advance().text;
+      if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Advance().text;
+      } else {
+        ref.alias = ref.table_name;
+      }
+      q->from.push_back(std::move(ref));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  // Precedence climbing: OR < AND < comparison < additive < multiplicative.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (PeekKeyword("AND")) {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    static const struct {
+      const char* sym;
+      BinaryOp op;
+    } kOps[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+                {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& [sym, op] : kOps) {
+      if (PeekSymbol(sym)) {
+        Advance();
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      BinaryOp op = Peek().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      BinaryOp op = Peek().text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  static bool AggFuncFromName(const std::string& upper, AggFunc* out) {
+    if (upper == "COUNT") {
+      *out = AggFunc::kCount;
+    } else if (upper == "SUM") {
+      *out = AggFunc::kSum;
+    } else if (upper == "AVG") {
+      *out = AggFunc::kAvg;
+    } else if (upper == "MIN") {
+      *out = AggFunc::kMin;
+    } else if (upper == "MAX") {
+      *out = AggFunc::kMax;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber) {
+      Advance();
+      if (t.text.find('.') != std::string::npos) {
+        return Expr::MakeLiteral(Value(std::strtod(t.text.c_str(), nullptr)));
+      }
+      return Expr::MakeLiteral(
+          Value(static_cast<int64_t>(std::strtoll(t.text.c_str(), nullptr, 10))));
+    }
+    if (t.type == TokenType::kString) {
+      Advance();
+      return Expr::MakeLiteral(Value(t.text));
+    }
+    if (t.type == TokenType::kSymbol && t.text == "(") {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      if (!ConsumeSymbol(")")) {
+        return Status::ParseError("expected ')'");
+      }
+      return inner;
+    }
+    if (t.type == TokenType::kIdentifier) {
+      std::string first = Advance().text;
+      AggFunc fn;
+      if (PeekSymbol("(") && AggFuncFromName(ToUpper(first), &fn)) {
+        Advance();  // (
+        if (PeekKeyword("DISTINCT")) Advance();
+        ExprPtr arg;
+        if (PeekSymbol("*")) {
+          Advance();
+          arg = nullptr;  // COUNT(*)
+        } else {
+          ASSIGN_OR_RETURN(arg, ParseExpr());
+        }
+        if (!ConsumeSymbol(")")) {
+          return Status::ParseError("expected ')' after aggregate argument");
+        }
+        return Expr::MakeAggregate(fn, std::move(arg));
+      }
+      if (ConsumeSymbol(".")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::ParseError(
+              Format("expected column name after '%s.'", first.c_str()));
+        }
+        std::string col = Advance().text;
+        return Expr::MakeColumn(first, std::move(col));
+      }
+      return Expr::MakeColumn("", std::move(first));
+    }
+    return Status::ParseError(Format("unexpected token '%s' at offset %zu",
+                                     t.text.c_str(), t.position));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpr();
+}
+
+}  // namespace cajade

@@ -1,0 +1,29 @@
+// Recursive-descent parser for the single-block SQL subset:
+//
+//   SELECT item [, item]* FROM table [alias] [, table [alias]]*
+//   [WHERE predicate] [GROUP BY colref [, colref]*]
+//
+// with expressions over columns, numeric/string literals, the aggregates
+// COUNT/SUM/AVG/MIN/MAX, arithmetic (+ - * /), comparisons, AND/OR.
+
+#ifndef CAJADE_SQL_PARSER_H_
+#define CAJADE_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sql/expr.h"
+
+namespace cajade {
+
+/// Parses `sql` into a ParsedQuery (syntactic only; see Binder for name
+/// resolution and semantic checks).
+Result<ParsedQuery> ParseQuery(const std::string& sql);
+
+/// Parses a standalone scalar/boolean expression (used in tests and for
+/// user-supplied schema-graph join conditions).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace cajade
+
+#endif  // CAJADE_SQL_PARSER_H_

@@ -1,0 +1,98 @@
+#include "src/stats/table_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/exec/join.h"
+
+namespace cajade {
+
+size_t TableStats::NdvOf(const Table& table, const std::string& column) const {
+  int idx = table.schema().FindColumn(column);
+  if (idx < 0 || static_cast<size_t>(idx) >= columns.size()) return 1;
+  return std::max<size_t>(columns[idx].ndv, 1);
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  stats.columns.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats& cs = stats.columns[c];
+    cs.numeric = IsNumeric(col.type());
+    if (col.type() == DataType::kString) {
+      // Dictionary size bounds distinct count; count used codes exactly.
+      std::unordered_set<int32_t> codes;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (col.IsNull(r)) {
+          ++cs.null_count;
+        } else {
+          codes.insert(col.GetCode(r));
+        }
+      }
+      cs.ndv = codes.size();
+      continue;
+    }
+    std::unordered_set<int64_t> seen;  // bit patterns of the numeric value
+    bool first = true;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (col.IsNull(r)) {
+        ++cs.null_count;
+        continue;
+      }
+      double v = col.GetNumeric(r);
+      if (first || v < cs.min_value) cs.min_value = v;
+      if (first || v > cs.max_value) cs.max_value = v;
+      first = false;
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      seen.insert(bits);
+    }
+    cs.ndv = seen.size();
+  }
+  return stats;
+}
+
+size_t StatsCatalog::CombinedNdv(const Table& table,
+                                 const std::vector<int>& cols) {
+  std::string key = table.name();
+  for (int c : cols) {
+    key += '|';
+    key += std::to_string(c);
+  }
+  auto it = combined_ndv_.find(key);
+  if (it != combined_ndv_.end()) return it->second;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    seen.insert(HashRowKey(table, static_cast<int64_t>(r), cols));
+  }
+  size_t ndv = std::max<size_t>(seen.size(), 1);
+  combined_ndv_.emplace(std::move(key), ndv);
+  return ndv;
+}
+
+size_t StatsCatalog::CombinedNdvByName(const Table& table,
+                                       const std::vector<std::string>& cols) {
+  std::vector<int> idx;
+  for (const auto& name : cols) {
+    int c = table.schema().FindColumn(name);
+    if (c >= 0) idx.push_back(c);
+  }
+  if (idx.empty()) return 1;
+  return CombinedNdv(table, idx);
+}
+
+const TableStats& StatsCatalog::Get(const Table& table) {
+  auto it = cache_.find(table.name());
+  if (it != cache_.end() && it->second.rows == table.num_rows()) {
+    return it->second.stats;
+  }
+  Entry entry{table.num_rows(), ComputeTableStats(table)};
+  auto [pos, _] = cache_.insert_or_assign(table.name(), std::move(entry));
+  return pos->second.stats;
+}
+
+}  // namespace cajade

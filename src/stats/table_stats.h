@@ -1,0 +1,65 @@
+// Per-column statistics (row counts, distinct values, ranges) and a caching
+// catalog. The join-graph enumerator uses these to estimate APT
+// materialization cost, mirroring the paper's use of the DBMS cost estimate
+// to prune join graphs (Section 4, lambda_qcost).
+
+#ifndef CAJADE_STATS_TABLE_STATS_H_
+#define CAJADE_STATS_TABLE_STATS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+
+/// Statistics for one column.
+struct ColumnStats {
+  size_t ndv = 0;         ///< number of distinct non-null values
+  size_t null_count = 0;
+  double min_value = 0.0; ///< numeric columns only
+  double max_value = 0.0;
+  bool numeric = false;
+};
+
+/// Statistics for one table.
+struct TableStats {
+  size_t num_rows = 0;
+  std::vector<ColumnStats> columns;
+
+  /// ndv of the named column; 1 when the column is unknown (conservative).
+  size_t NdvOf(const Table& table, const std::string& column) const;
+};
+
+/// Scans `table` and computes exact statistics.
+TableStats ComputeTableStats(const Table& table);
+
+/// \brief Cache of table statistics keyed by table name + row count.
+class StatsCatalog {
+ public:
+  const TableStats& Get(const Table& table);
+
+  /// Exact distinct count of the multi-column combination `cols` (cached).
+  /// Correlated columns (e.g. the year/month/day/home parts of a game key)
+  /// make the product-of-ndv estimate useless for join fan-out; the exact
+  /// count is one cheap cached pass.
+  size_t CombinedNdv(const Table& table, const std::vector<int>& cols);
+
+  /// Column-name convenience overload; unknown names are skipped.
+  size_t CombinedNdvByName(const Table& table,
+                           const std::vector<std::string>& cols);
+
+ private:
+  struct Entry {
+    size_t rows;
+    TableStats stats;
+  };
+  std::unordered_map<std::string, Entry> cache_;
+  std::unordered_map<std::string, size_t> combined_ndv_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_STATS_TABLE_STATS_H_

@@ -1,0 +1,130 @@
+#include "src/storage/column.h"
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+void Column::Reserve(size_t n) {
+  nulls_.reserve(n);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      codes_.reserve(n);
+      break;
+    default:
+      break;
+  }
+}
+
+void Column::AppendInt(int64_t v) {
+  ints_.push_back(v);
+  nulls_.push_back(0);
+}
+
+void Column::AppendDouble(double v) {
+  doubles_.push_back(v);
+  nulls_.push_back(0);
+}
+
+void Column::AppendString(const std::string& v) {
+  codes_.push_back(InternString(v));
+  nulls_.push_back(0);
+}
+
+void Column::AppendCode(int32_t code) {
+  codes_.push_back(code);
+  nulls_.push_back(0);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      codes_.push_back(-1);
+      break;
+    default:
+      break;
+  }
+  nulls_.push_back(1);
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (v.is_int()) {
+        AppendInt(v.AsInt());
+        return Status::OK();
+      }
+      if (v.is_double()) {
+        AppendInt(static_cast<int64_t>(v.AsDouble()));
+        return Status::OK();
+      }
+      break;
+    case DataType::kDouble:
+      if (v.is_numeric()) {
+        AppendDouble(v.ToDouble());
+        return Status::OK();
+      }
+      break;
+    case DataType::kString:
+      if (v.is_string()) {
+        AppendString(v.AsString());
+        return Status::OK();
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument(
+      Format("cannot append %s value to %s column",
+             DataTypeToString(v.type()), DataTypeToString(type_)));
+}
+
+Value Column::GetValue(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(dict_[codes_[row]]);
+    default:
+      return Value::Null();
+  }
+}
+
+int32_t Column::FindCode(const std::string& s) const {
+  auto it = dict_index_.find(s);
+  return it == dict_index_.end() ? -1 : it->second;
+}
+
+int32_t Column::InternString(const std::string& s) {
+  auto it = dict_index_.find(s);
+  if (it != dict_index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(dict_.size());
+  dict_.push_back(s);
+  dict_index_.emplace(s, code);
+  return code;
+}
+
+void Column::AdoptDictionary(const Column& source) {
+  dict_ = source.dict_;
+  dict_index_ = source.dict_index_;
+}
+
+}  // namespace cajade

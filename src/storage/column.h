@@ -1,0 +1,84 @@
+// Columnar storage. Strings are dictionary-encoded so categorical pattern
+// matching and grouping operate on int32 codes.
+
+#ifndef CAJADE_STORAGE_COLUMN_H_
+#define CAJADE_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace cajade {
+
+/// \brief A typed, nullable column of values.
+///
+/// INT64 and DOUBLE columns store native vectors; STRING columns store int32
+/// dictionary codes plus a per-column dictionary. Null entries occupy a slot
+/// in the data vector (value unspecified) and are flagged in the null mask.
+class Column {
+ public:
+  explicit Column(DataType type = DataType::kInt64) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+
+  void Reserve(size_t n);
+
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(const std::string& v);
+  /// Appends a string by existing dictionary code (fast path for copies).
+  void AppendCode(int32_t code);
+  void AppendNull();
+  /// Appends a Value, checking that it matches the column type (nulls are
+  /// accepted by every type).
+  Status AppendValue(const Value& v);
+
+  bool IsNull(size_t row) const { return nulls_[row] != 0; }
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  /// Dictionary code of a string cell (-1 for null).
+  int32_t GetCode(size_t row) const { return codes_[row]; }
+  const std::string& GetString(size_t row) const { return dict_[codes_[row]]; }
+
+  /// Cell as a Value (allocates for strings).
+  Value GetValue(size_t row) const;
+
+  /// Numeric cell widened to double. Only valid for INT64/DOUBLE columns.
+  double GetNumeric(size_t row) const {
+    return type_ == DataType::kInt64 ? static_cast<double>(ints_[row]) : doubles_[row];
+  }
+
+  /// Number of distinct strings seen so far (STRING columns).
+  size_t dict_size() const { return dict_.size(); }
+  const std::string& DictEntry(int32_t code) const { return dict_[code]; }
+  /// Dictionary code for `s`, or -1 when absent.
+  int32_t FindCode(const std::string& s) const;
+  /// Interns `s` into the dictionary (without appending a cell).
+  int32_t InternString(const std::string& s);
+
+  /// Shares another column's dictionary layout by copying it; used when
+  /// building an output column that will receive codes from `source`.
+  void AdoptDictionary(const Column& source);
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<uint8_t> nulls_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_STORAGE_COLUMN_H_

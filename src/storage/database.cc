@@ -1,0 +1,46 @@
+#include "src/storage/database.h"
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+Result<TablePtr> Database::CreateTable(const std::string& name, Schema schema) {
+  if (HasTable(name)) {
+    return Status::AlreadyExists(Format("table '%s' already exists", name.c_str()));
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema));
+  tables_.emplace(name, table);
+  return table;
+}
+
+Status Database::AddTable(TablePtr table) {
+  if (HasTable(table->name())) {
+    return Status::AlreadyExists(
+        Format("table '%s' already exists", table->name().c_str()));
+  }
+  tables_.emplace(table->name(), std::move(table));
+  return Status::OK();
+}
+
+Result<TablePtr> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(Format("no table named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->num_rows();
+  return total;
+}
+
+}  // namespace cajade

@@ -1,0 +1,46 @@
+// The catalog: named tables with their schemas.
+
+#ifndef CAJADE_STORAGE_DATABASE_H_
+#define CAJADE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+
+/// \brief A database instance: a set of named tables.
+class Database {
+ public:
+  /// Creates an empty table with the given schema and registers it.
+  Result<TablePtr> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers an already-built table; rejects duplicates.
+  Status AddTable(TablePtr table);
+
+  /// Replaces a table of the same name (used by dataset scaling).
+  void ReplaceTable(TablePtr table) { tables_[table->name()] = std::move(table); }
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+
+  /// Table names in deterministic (sorted) order.
+  std::vector<std::string> table_names() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Sum of rows across all tables (dataset-size reporting).
+  size_t TotalRows() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_STORAGE_DATABASE_H_

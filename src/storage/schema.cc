@@ -1,0 +1,29 @@
+#include "src/storage/schema.h"
+
+#include "src/common/string_util.h"
+
+namespace cajade {
+
+Status Schema::AddColumn(const std::string& name, DataType type,
+                         bool mining_excluded) {
+  if (index_.count(name) > 0) {
+    return Status::AlreadyExists(Format("duplicate column '%s'", name.c_str()));
+  }
+  index_.emplace(name, static_cast<int>(columns_.size()));
+  columns_.push_back({name, type, mining_excluded});
+  return Status::OK();
+}
+
+void Schema::SetMiningExcluded(const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    int idx = FindColumn(name);
+    if (idx >= 0) columns_[idx].mining_excluded = true;
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace cajade

@@ -1,0 +1,79 @@
+// In-memory columnar table.
+
+#ifndef CAJADE_STORAGE_TABLE_H_
+#define CAJADE_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/column.h"
+#include "src/storage/schema.h"
+
+namespace cajade {
+
+/// \brief A named columnar relation instance.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+  /// Adopts pre-built columns (must match the schema's arity and types).
+  Table(std::string name, Schema schema, std::vector<Column> columns,
+        size_t num_rows)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+  /// Column by name; null when absent.
+  const Column* FindColumn(const std::string& name) const;
+
+  void Reserve(size_t n);
+
+  /// Appends a full row; the row must have one value per column with
+  /// compatible types.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Cell accessor through Value (allocates for strings).
+  Value GetValue(size_t row, size_t col) const { return columns_[col].GetValue(row); }
+
+  /// Copies row `row` of `src` (identical schema) into this table.
+  void AppendRowFrom(const Table& src, size_t row);
+
+  /// Declares the row count after columns were filled directly (column-wise
+  /// builders). All columns must already hold exactly `n` cells.
+  void SetRowCount(size_t n) { num_rows_ = n; }
+
+  /// Moves the columns out (the table becomes empty); used to re-label a
+  /// working table as a provenance table without copying data.
+  std::vector<Column> TakeColumns() {
+    num_rows_ = 0;
+    return std::move(columns_);
+  }
+
+  /// Renders the first `limit` rows as an aligned ASCII table (debugging,
+  /// examples).
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace cajade
+
+#endif  // CAJADE_STORAGE_TABLE_H_

@@ -1,0 +1,71 @@
+// Tests for src/metrics: NDCG, Kendall-tau rank distance, top-k match.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metrics/ranking.h"
+
+namespace cajade {
+namespace {
+
+TEST(NdcgTest, PerfectOrderIsOne) {
+  EXPECT_DOUBLE_EQ(Ndcg({3.0, 2.0, 1.0}), 1.0);
+}
+
+TEST(NdcgTest, WorstOrderBelowOne) {
+  double v = Ndcg({1.0, 2.0, 3.0});
+  EXPECT_LT(v, 1.0);
+  EXPECT_GT(v, 0.5);  // DCG discount keeps it bounded away from 0
+}
+
+TEST(NdcgTest, AllZeroGainsIsZero) {
+  EXPECT_DOUBLE_EQ(Ndcg({0.0, 0.0}), 0.0);
+}
+
+TEST(NdcgTest, AtKUsesTrueRelevance) {
+  // Items 0..3 with relevance 4,3,2,1; prediction [1,0] at k=2.
+  double v = NdcgAtK({1, 0}, {4, 3, 2, 1}, 2);
+  double ideal = 4.0 / std::log2(2) + 3.0 / std::log2(3);
+  double got = 3.0 / std::log2(2) + 4.0 / std::log2(3);
+  EXPECT_NEAR(v, got / ideal, 1e-12);
+  // Perfect prediction.
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 1}, {4, 3, 2, 1}, 2), 1.0);
+  // Out-of-range ids contribute nothing.
+  EXPECT_LT(NdcgAtK({7, -1}, {4, 3}, 2), 1e-12);
+}
+
+TEST(KendallTauTest, IdenticalIsZero) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({"a", "b", "c"}, {"a", "b", "c"}), 0.0);
+}
+
+TEST(KendallTauTest, ReversedIsOne) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({"a", "b", "c"}, {"c", "b", "a"}), 1.0);
+}
+
+TEST(KendallTauTest, SingleSwap) {
+  // One discordant pair out of three.
+  EXPECT_NEAR(KendallTauDistance({"a", "b", "c"}, {"b", "a", "c"}), 1.0 / 3,
+              1e-12);
+}
+
+TEST(KendallTauTest, DisjointItemsIgnored) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({"a", "x"}, {"y", "a"}), 0.0);
+}
+
+TEST(KendallTauFromScoresTest, CountsDiscordantPairs) {
+  // scores_a ranks 1>2>3; scores_b ranks 3>2>1: all 3 pairs discordant.
+  EXPECT_DOUBLE_EQ(KendallTauFromScores({3, 2, 1}, {1, 2, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(KendallTauFromScores({3, 2, 1}, {9, 5, 2}), 0.0);
+  // Ties skipped.
+  EXPECT_DOUBLE_EQ(KendallTauFromScores({1, 1}, {2, 3}), 0.0);
+}
+
+TEST(TopKMatchTest, CountsIntersection) {
+  EXPECT_EQ(TopKMatch({"a", "b", "c", "d"}, {"c", "a", "x"}, 3), 2u);
+  EXPECT_EQ(TopKMatch({"a"}, {"a"}, 10), 1u);
+  EXPECT_EQ(TopKMatch({}, {"a"}, 3), 0u);
+}
+
+}  // namespace
+}  // namespace cajade

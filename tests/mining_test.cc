@@ -1,0 +1,298 @@
+// Tests for src/mining: patterns (matching, refinement), quality metrics
+// (Definition 7), LCA candidate generation, the miner (Algorithm 1), and
+// the recall-monotonicity property (Proposition 3.1) as a parameterized
+// property sweep.
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.h"
+#include "src/mining/lca.h"
+#include "src/mining/miner.h"
+#include "src/mining/quality.h"
+
+namespace cajade {
+namespace {
+
+/// A small synthetic APT: 40 PT rows (first 24 class 0, rest class 1), two
+/// APT rows per PT row. Columns: cat (string), num (int64).
+struct AptFixture {
+  Apt apt;
+  PtClasses classes;
+
+  AptFixture() {
+    Schema schema({{"cat", DataType::kString}, {"num", DataType::kInt64}});
+    Table t("APT", std::move(schema));
+    Rng rng(13);
+    for (int p = 0; p < 40; ++p) {
+      bool class0 = p < 24;
+      for (int copy = 0; copy < 2; ++copy) {
+        // Class 0 rows skew to cat="a" & num>=50; class 1 to "b" & low num.
+        std::string cat = (class0 ? rng.Bernoulli(0.8) : rng.Bernoulli(0.25))
+                              ? "a"
+                              : "b";
+        int64_t num = class0 ? rng.UniformInt(40, 100) : rng.UniformInt(0, 60);
+        (void)t.AppendRow({Value(cat), Value(num)});
+        apt.pt_row.push_back(p);
+      }
+      apt.pt_rows_used.push_back(p);
+      classes.push_back(class0 ? 0 : 1);
+    }
+    apt.table = std::move(t);
+    apt.num_pt_columns = 0;
+    apt.pattern_cols = {0, 1};
+  }
+};
+
+TEST(PatternTest, MatchingSemantics) {
+  AptFixture fx;
+  Pattern p;
+  p.preds.push_back(
+      PatternPredicate::Make(fx.apt.table, 0, PredOp::kEq, Value("a")));
+  p.preds.push_back(PatternPredicate::Make(fx.apt.table, 1, PredOp::kGe,
+                                           Value(int64_t{50})));
+  size_t matches = 0;
+  for (size_t r = 0; r < fx.apt.num_rows(); ++r) {
+    bool expected = fx.apt.table.GetValue(r, 0) == Value("a") &&
+                    fx.apt.table.GetValue(r, 1).AsInt() >= 50;
+    EXPECT_EQ(p.Matches(fx.apt.table, r), expected);
+    matches += expected;
+  }
+  EXPECT_GT(matches, 0u);
+}
+
+TEST(PatternTest, UnknownDictValueNeverMatches) {
+  AptFixture fx;
+  Pattern p;
+  p.preds.push_back(
+      PatternPredicate::Make(fx.apt.table, 0, PredOp::kEq, Value("zz")));
+  for (size_t r = 0; r < std::min<size_t>(fx.apt.num_rows(), 10); ++r) {
+    EXPECT_FALSE(p.Matches(fx.apt.table, r));
+  }
+}
+
+TEST(PatternTest, RefineKeepsSortedAndFind) {
+  AptFixture fx;
+  Pattern p;
+  p = p.Refine(PatternPredicate::Make(fx.apt.table, 1, PredOp::kLe,
+                                      Value(int64_t{70})));
+  p = p.Refine(PatternPredicate::Make(fx.apt.table, 0, PredOp::kEq, Value("a")));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.preds[0].col, 0);
+  EXPECT_EQ(p.preds[1].col, 1);
+  EXPECT_FALSE(p.IsFree(0));
+  EXPECT_TRUE(p.IsFree(5));
+  EXPECT_NE(p.Find(1), nullptr);
+  EXPECT_EQ(p.NumNumericPreds(fx.apt.table), 1);
+}
+
+TEST(PatternTest, KeyAndDescribeStable) {
+  AptFixture fx;
+  Pattern p;
+  p.preds.push_back(
+      PatternPredicate::Make(fx.apt.table, 0, PredOp::kEq, Value("a")));
+  EXPECT_EQ(p.Key(), "0=a");
+  EXPECT_EQ(p.Describe(fx.apt.table), "cat=a");
+  Pattern empty;
+  EXPECT_EQ(empty.Describe(fx.apt.table), "(*)");
+}
+
+TEST(QualityTest, FullViewCountsClasses) {
+  AptFixture fx;
+  MetricsView view = FullView(fx.apt, fx.classes);
+  EXPECT_EQ(view.n1, 24u);
+  EXPECT_EQ(view.n2, 16u);
+  EXPECT_TRUE(view.all_rows);
+}
+
+TEST(QualityTest, EmptyPatternScoresAsAllCovered) {
+  AptFixture fx;
+  MetricsView view = FullView(fx.apt, fx.classes);
+  Pattern empty;
+  PatternScores s = ScorePattern(empty, fx.apt, fx.classes, view, 0);
+  EXPECT_EQ(s.tp, 24);
+  EXPECT_EQ(s.fp, 16);
+  EXPECT_EQ(s.fn, 0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_NEAR(s.precision, 0.6, 1e-9);
+}
+
+TEST(QualityTest, CoverageIsExistentialOverAptRows) {
+  // A pattern matching only one of a PT row's two APT rows still covers it.
+  AptFixture fx;
+  MetricsView view = FullView(fx.apt, fx.classes);
+  Pattern p;
+  p.preds.push_back(
+      PatternPredicate::Make(fx.apt.table, 0, PredOp::kEq, Value("a")));
+  std::vector<uint8_t> covered;
+  ComputeCoverage(p, fx.apt, view, &covered);
+  for (size_t pt = 0; pt < covered.size(); ++pt) {
+    bool any = false;
+    for (size_t r = 0; r < fx.apt.num_rows(); ++r) {
+      if (fx.apt.pt_row[r] == static_cast<int32_t>(pt) &&
+          p.Matches(fx.apt.table, r)) {
+        any = true;
+      }
+    }
+    EXPECT_EQ(covered[pt] != 0, any);
+  }
+}
+
+TEST(QualityTest, PrimarySwapsSides) {
+  AptFixture fx;
+  MetricsView view = FullView(fx.apt, fx.classes);
+  Pattern p;
+  p.preds.push_back(
+      PatternPredicate::Make(fx.apt.table, 0, PredOp::kEq, Value("a")));
+  PatternScores s0 = ScorePattern(p, fx.apt, fx.classes, view, 0);
+  PatternScores s1 = ScorePattern(p, fx.apt, fx.classes, view, 1);
+  EXPECT_EQ(s0.tp, s1.fp);
+  EXPECT_EQ(s0.fp, s1.tp);
+}
+
+TEST(QualityTest, SampledViewShrinksCountsButKeepsBothClasses) {
+  AptFixture fx;
+  Rng rng(3);
+  MetricsView view = SampledView(fx.apt, fx.classes, 0.3, &rng);
+  EXPECT_FALSE(view.all_rows);
+  EXPECT_GT(view.n1, 0u);
+  EXPECT_GT(view.n2, 0u);
+  EXPECT_LT(view.n1 + view.n2, 40u);
+  // APT rows restricted to sampled PT positions.
+  for (int32_t r : view.apt_rows) {
+    EXPECT_TRUE(view.pt_sampled[fx.apt.pt_row[r]]);
+  }
+}
+
+TEST(LcaTest, CandidatesAreEqualityMeets) {
+  AptFixture fx;
+  Rng rng(5);
+  auto candidates = GenerateLcaCandidates(fx.apt, {0}, 40, &rng);
+  ASSERT_FALSE(candidates.empty());
+  // Over one binary column, the only meets are cat=a and cat=b.
+  EXPECT_LE(candidates.size(), 2u);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.pattern.size(), 1u);
+    EXPECT_EQ(c.pattern.preds[0].op, PredOp::kEq);
+    EXPECT_GT(c.pair_count, 0);
+  }
+  // Sorted by pair count.
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].pair_count, candidates[i].pair_count);
+  }
+}
+
+TEST(LcaTest, EmptyInputsProduceNoCandidates) {
+  AptFixture fx;
+  Rng rng(5);
+  EXPECT_TRUE(GenerateLcaCandidates(fx.apt, {}, 40, &rng).empty());
+}
+
+TEST(MinerTest, FindsDiscriminativePattern) {
+  AptFixture fx;
+  CajadeConfig config;
+  config.sel_attr = 1.0;
+  PatternMiner miner(&config, nullptr);
+  Rng rng(7);
+  MineResult result = miner.Mine(fx.apt, fx.classes, &rng).ValueOrDie();
+  ASSERT_FALSE(result.top_k.empty());
+  // The best pattern should beat the trivial baseline (precision 0.6).
+  EXPECT_GT(result.top_k[0].exact.fscore, 0.75);
+  EXPECT_GT(result.patterns_evaluated, 0u);
+  // Supports are consistent.
+  for (const auto& mp : result.top_k) {
+    EXPECT_LE(mp.support_primary, mp.total_primary);
+    EXPECT_LE(mp.support_other, mp.total_other);
+    EXPECT_EQ(mp.total_primary + mp.total_other, 40);
+  }
+}
+
+TEST(MinerTest, MaxNumericAttrsRespected) {
+  AptFixture fx;
+  CajadeConfig config;
+  config.sel_attr = 1.0;
+  config.max_numeric_attrs = 0;  // no numeric refinement at all
+  PatternMiner miner(&config, nullptr);
+  Rng rng(7);
+  MineResult result = miner.Mine(fx.apt, fx.classes, &rng).ValueOrDie();
+  for (const auto& mp : result.top_k) {
+    EXPECT_EQ(mp.pattern.NumNumericPreds(fx.apt.table), 0);
+  }
+}
+
+TEST(MinerTest, DiversityChangesSelection) {
+  AptFixture fx;
+  CajadeConfig config;
+  config.sel_attr = 1.0;
+  PatternMiner miner(&config, nullptr);
+  Rng rng(7);
+  MineResult with = miner.Mine(fx.apt, fx.classes, &rng).ValueOrDie();
+  config.enable_diversity = false;
+  Rng rng2(7);
+  MineResult without = miner.Mine(fx.apt, fx.classes, &rng2).ValueOrDie();
+  // Both return k patterns; the diverse set has at least as many distinct
+  // attribute combinations.
+  auto distinct_shapes = [&](const MineResult& r) {
+    std::set<std::string> shapes;
+    for (const auto& mp : r.top_k) {
+      std::string s;
+      for (const auto& pred : mp.pattern.preds) s += std::to_string(pred.col) + ",";
+      shapes.insert(s);
+    }
+    return shapes.size();
+  };
+  EXPECT_GE(distinct_shapes(with), distinct_shapes(without));
+}
+
+TEST(DiversityScoreTest, MatchesPaperFormula) {
+  AptFixture fx;
+  auto eq = [&](int col, const char* v) {
+    return PatternPredicate::Make(fx.apt.table, col, PredOp::kEq, Value(v));
+  };
+  Pattern a;
+  a.preds = {eq(0, "a")};
+  Pattern b_free;  // attribute not used: +1
+  EXPECT_DOUBLE_EQ(DiversityScore(a, b_free), 1.0);
+  Pattern b_same;
+  b_same.preds = {eq(0, "a")};  // same constant: -2
+  EXPECT_DOUBLE_EQ(DiversityScore(a, b_same), -2.0);
+  Pattern b_diff;
+  b_diff.preds = {eq(0, "b")};  // different constant: -0.3
+  EXPECT_DOUBLE_EQ(DiversityScore(a, b_diff), -0.3);
+}
+
+// ---- Proposition 3.1 as a property sweep ----------------------------------
+// For random patterns and any refinement, recall must not increase.
+
+class RecallMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecallMonotonicityTest, RefinementNeverIncreasesRecall) {
+  AptFixture fx;
+  MetricsView view = FullView(fx.apt, fx.classes);
+  Rng rng(GetParam());
+  // Random base pattern: maybe a categorical predicate.
+  Pattern base;
+  if (rng.Bernoulli(0.5)) {
+    base.preds.push_back(PatternPredicate::Make(
+        fx.apt.table, 0, PredOp::kEq, Value(rng.Bernoulli(0.5) ? "a" : "b")));
+  }
+  // Random numeric refinement.
+  PredOp op = rng.Bernoulli(0.5) ? PredOp::kLe : PredOp::kGe;
+  Pattern refined = base.Refine(PatternPredicate::Make(
+      fx.apt.table, 1, op, Value(rng.UniformInt(0, 100))));
+  for (int primary = 0; primary < 2; ++primary) {
+    PatternScores s_base = ScorePattern(base, fx.apt, fx.classes, view, primary);
+    PatternScores s_ref =
+        ScorePattern(refined, fx.apt, fx.classes, view, primary);
+    EXPECT_LE(s_ref.recall, s_base.recall + 1e-12)
+        << "primary=" << primary << " base=" << base.Describe(fx.apt.table)
+        << " refined=" << refined.Describe(fx.apt.table);
+    // TP monotone too (Definition 7b).
+    EXPECT_LE(s_ref.tp, s_base.tp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatterns, RecallMonotonicityTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cajade

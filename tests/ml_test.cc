@@ -1,0 +1,217 @@
+// Tests for src/ml: decision trees, random forests (importances), the
+// association measures, and VARCLUS-style attribute clustering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/ml/correlation.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/varclus.h"
+
+namespace cajade {
+namespace {
+
+/// label = 1 iff x0 > 0.5; x1 is noise; x2 (categorical) weakly informative.
+FeatureMatrix MakeSyntheticData(size_t n, Rng* rng) {
+  FeatureMatrix m;
+  m.names = {"signal", "noise", "category"};
+  m.is_categorical = {false, false, true};
+  m.columns.resize(3);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng->UniformDouble();
+    double x1 = rng->UniformDouble();
+    double cat = static_cast<double>(rng->NextBounded(4));
+    int label = x0 > 0.5 ? 1 : 0;
+    if (rng->Bernoulli(0.05)) label = 1 - label;  // 5% noise
+    m.columns[0].push_back(x0);
+    m.columns[1].push_back(x1);
+    m.columns[2].push_back(cat);
+    m.labels.push_back(label);
+  }
+  return m;
+}
+
+TEST(DecisionTreeTest, LearnsThresholdSplit) {
+  Rng rng(1);
+  FeatureMatrix data = MakeSyntheticData(600, &rng);
+  std::vector<int> rows(data.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int>(i);
+  DecisionTree tree;
+  TreeOptions options;
+  tree.Train(data, rows, options, &rng);
+  EXPECT_GT(tree.num_nodes(), 1u);
+  int correct = 0;
+  Rng test_rng(77);
+  for (int i = 0; i < 200; ++i) {
+    double x0 = test_rng.UniformDouble();
+    double p = tree.PredictProba({x0, test_rng.UniformDouble(), 0.0});
+    if ((p > 0.5) == (x0 > 0.5)) ++correct;
+  }
+  EXPECT_GT(correct, 170);  // > 85% accuracy
+}
+
+TEST(DecisionTreeTest, PureNodeStops) {
+  FeatureMatrix data;
+  data.names = {"x"};
+  data.is_categorical = {false};
+  data.columns = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  data.labels = {1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<int> rows = {0, 1, 2, 3, 4, 5, 6, 7};
+  DecisionTree tree;
+  Rng rng(1);
+  tree.Train(data, rows, TreeOptions{}, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictProba({3.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, CategoricalEqualitySplit) {
+  // label = 1 iff category == 2.
+  FeatureMatrix data;
+  data.names = {"cat"};
+  data.is_categorical = {true};
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    double c = static_cast<double>(rng.NextBounded(5));
+    data.columns.resize(1);
+    data.columns[0].push_back(c);
+    data.labels.push_back(c == 2.0 ? 1 : 0);
+  }
+  std::vector<int> rows(data.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int>(i);
+  DecisionTree tree;
+  tree.Train(data, rows, TreeOptions{}, &rng);
+  EXPECT_GT(tree.PredictProba({2.0}), 0.9);
+  EXPECT_LT(tree.PredictProba({3.0}), 0.1);
+}
+
+TEST(RandomForestTest, ImportanceRanksSignalFirst) {
+  Rng rng(2);
+  FeatureMatrix data = MakeSyntheticData(800, &rng);
+  RandomForest forest;
+  ForestOptions options;
+  options.num_trees = 15;
+  forest.Train(data, options, &rng);
+  const auto& imp = forest.importances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+  EXPECT_GT(imp[0], 0.5);  // normalized, signal dominates
+  double total = imp[0] + imp[1] + imp[2];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, PredictionBetterThanChance) {
+  Rng rng(3);
+  FeatureMatrix data = MakeSyntheticData(800, &rng);
+  RandomForest forest;
+  forest.Train(data, ForestOptions{}, &rng);
+  int correct = 0;
+  Rng test_rng(99);
+  for (int i = 0; i < 300; ++i) {
+    double x0 = test_rng.UniformDouble();
+    double p = forest.PredictProba({x0, test_rng.UniformDouble(), 1.0});
+    if ((p > 0.5) == (x0 > 0.5)) ++correct;
+  }
+  EXPECT_GT(correct, 255);
+}
+
+TEST(RandomForestTest, EmptyDataSafe) {
+  FeatureMatrix data;
+  data.names = {"x"};
+  data.is_categorical = {false};
+  data.columns.resize(1);
+  RandomForest forest;
+  Rng rng(1);
+  forest.Train(data, ForestOptions{}, &rng);
+  EXPECT_DOUBLE_EQ(forest.PredictProba({0.0}), 0.5);
+}
+
+TEST(CorrelationTest, PearsonPerfectAndNone) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y = {2, 4, 6, 8, 10, 12, 14, 16};
+  EXPECT_NEAR(PearsonAbs(x, y), 1.0, 1e-9);
+  std::vector<double> neg = {8, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonAbs(x, neg), 1.0, 1e-9);  // absolute value
+  std::vector<double> konst(8, 3.0);
+  EXPECT_DOUBLE_EQ(PearsonAbs(x, konst), 0.0);
+}
+
+TEST(CorrelationTest, PearsonSkipsNans) {
+  std::vector<double> x = {1, 2, std::nan(""), 4};
+  std::vector<double> y = {2, 4, 5, 8};
+  EXPECT_NEAR(PearsonAbs(x, y), 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, CramersVIdenticalAndIndependent) {
+  Rng rng(4);
+  std::vector<double> x, same, indep;
+  for (int i = 0; i < 600; ++i) {
+    double v = static_cast<double>(rng.NextBounded(3));
+    x.push_back(v);
+    same.push_back(v);
+    indep.push_back(static_cast<double>(rng.NextBounded(3)));
+  }
+  EXPECT_GT(CramersV(x, same), 0.95);
+  EXPECT_LT(CramersV(x, indep), 0.15);
+}
+
+TEST(CorrelationTest, CorrelationRatioDetectsGroupedMeans) {
+  Rng rng(6);
+  std::vector<double> cat, val, noise_val;
+  for (int i = 0; i < 600; ++i) {
+    double c = static_cast<double>(rng.NextBounded(3));
+    cat.push_back(c);
+    val.push_back(c * 10 + rng.Normal(0, 0.5));
+    noise_val.push_back(rng.Normal(0, 1.0));
+  }
+  EXPECT_GT(CorrelationRatio(cat, val), 0.95);
+  EXPECT_LT(CorrelationRatio(cat, noise_val), 0.2);
+}
+
+TEST(VarclusTest, ClustersCorrelatedAttributesWithRepresentative) {
+  // f0 and f1 are near-duplicates (birth date vs. age); f2 independent.
+  Rng rng(8);
+  FeatureMatrix data;
+  data.names = {"age", "birth", "other"};
+  data.is_categorical = {false, false, false};
+  data.columns.resize(3);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(20, 80);
+    data.columns[0].push_back(a);
+    data.columns[1].push_back(2020 - a);
+    data.columns[2].push_back(rng.Normal(0, 1));
+    data.labels.push_back(0);
+  }
+  std::vector<double> relevance = {0.2, 0.7, 0.1};
+  auto clustering = ClusterAttributes(data, relevance, 0.9);
+  ASSERT_EQ(clustering.clusters.size(), 2u);
+  // The age/birth cluster picks the higher-relevance member (birth = 1).
+  bool found_pair = false;
+  for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+    if (clustering.clusters[c].size() == 2) {
+      found_pair = true;
+      EXPECT_EQ(clustering.representatives[c], 1);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(VarclusTest, NoCorrelationNoMerging) {
+  Rng rng(9);
+  FeatureMatrix data;
+  data.names = {"a", "b", "c"};
+  data.is_categorical = {false, false, false};
+  data.columns.resize(3);
+  for (int i = 0; i < 300; ++i) {
+    for (int f = 0; f < 3; ++f) data.columns[f].push_back(rng.Normal(0, 1));
+    data.labels.push_back(0);
+  }
+  auto clustering = ClusterAttributes(data, {1, 1, 1}, 0.9);
+  EXPECT_EQ(clustering.clusters.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cajade

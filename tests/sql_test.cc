@@ -1,0 +1,195 @@
+// Tests for the SQL frontend: lexer, parser, expression trees.
+
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace cajade {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE a = 'x'").ValueOrDie();
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "WHERE");
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("12 3.5 'ab''c'").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, "12");
+  EXPECT_EQ(tokens[1].text, "3.5");
+  EXPECT_EQ(tokens[2].type, TokenType::kString);
+  EXPECT_EQ(tokens[2].text, "ab'c");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Tokenize("<= >= <> !=").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "<>");
+  EXPECT_EQ(tokens[3].text, "<>");  // != normalized
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("a -- comment\n b").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharFails) {
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+TEST(ParserTest, MinimalQuery) {
+  auto q = ParseQuery("SELECT a FROM t").ValueOrDie();
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_EQ(q.select[0].name, "a");
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0].table_name, "t");
+  EXPECT_EQ(q.from[0].alias, "t");
+  EXPECT_EQ(q.where, nullptr);
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(ParserTest, PaperQueryQ1) {
+  auto q = ParseQuery(
+               "SELECT winner as team, season, count(*) as win "
+               "FROM Game g WHERE winner = 'GSW' GROUP BY winner, season")
+               .ValueOrDie();
+  ASSERT_EQ(q.select.size(), 3u);
+  EXPECT_EQ(q.select[0].name, "team");
+  EXPECT_EQ(q.select[1].name, "season");
+  EXPECT_EQ(q.select[2].name, "win");
+  EXPECT_EQ(q.select[2].expr->kind, ExprKind::kAggregate);
+  EXPECT_EQ(q.select[2].expr->agg, AggFunc::kCount);
+  EXPECT_EQ(q.select[2].expr->arg, nullptr);  // COUNT(*)
+  EXPECT_EQ(q.from[0].alias, "g");
+  ASSERT_NE(q.where, nullptr);
+  ASSERT_EQ(q.group_by.size(), 2u);
+}
+
+TEST(ParserTest, MultiTableJoinQuery) {
+  auto q = ParseQuery(
+               "SELECT AVG(points) as avp_pts, s.season_name "
+               "FROM player p, player_game_stats pgs, game g, season s "
+               "WHERE p.player_id=pgs.player_id AND "
+               "g.game_date = pgs.game_date AND g.home_id = pgs.home_id AND "
+               "s.season_id = g.season_id AND p.player_name='Draymond Green' "
+               "GROUP BY s.season_name")
+               .ValueOrDie();
+  EXPECT_EQ(q.from.size(), 4u);
+  EXPECT_EQ(q.from[1].alias, "pgs");
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(q.where, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 5u);
+}
+
+TEST(ParserTest, ArithmeticOverAggregates) {
+  auto q = ParseQuery(
+               "SELECT insurance, 1.0 * sum(isdead) / count(*) AS death_rate "
+               "FROM Admissions GROUP BY insurance")
+               .ValueOrDie();
+  ASSERT_EQ(q.select.size(), 2u);
+  const Expr& e = *q.select[1].expr;
+  EXPECT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.op, BinaryOp::kDiv);
+  EXPECT_TRUE(e.ContainsAggregate());
+  std::vector<Expr*> aggs;
+  q.select[1].expr->CollectAggregates(&aggs);
+  EXPECT_EQ(aggs.size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceMulBeforeAdd) {
+  auto e = ParseExpression("1 + 2 * 3").ValueOrDie();
+  EXPECT_EQ(e->op, BinaryOp::kAdd);
+  EXPECT_EQ(e->right->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, PrecedenceAndBeforeOr) {
+  auto e = ParseExpression("a = 1 OR b = 2 AND c = 3").ValueOrDie();
+  EXPECT_EQ(e->op, BinaryOp::kOr);
+  EXPECT_EQ(e->right->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto e = ParseExpression("(1 + 2) * 3").ValueOrDie();
+  EXPECT_EQ(e->op, BinaryOp::kMul);
+  EXPECT_EQ(e->left->op, BinaryOp::kAdd);
+}
+
+TEST(ParserTest, QualifiedColumnRef) {
+  auto e = ParseExpression("t.col").ValueOrDie();
+  EXPECT_EQ(e->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(e->table, "t");
+  EXPECT_EQ(e->column, "col");
+}
+
+TEST(ParserTest, BareAliasWithoutAs) {
+  auto q = ParseQuery("SELECT count(*) win FROM t").ValueOrDie();
+  EXPECT_EQ(q.select[0].name, "win");
+}
+
+TEST(ParserTest, GroupByMustBeColumns) {
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t GROUP BY 1+2").ok());
+}
+
+TEST(ParserTest, TrailingInputFails) {
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t extra garbage tokens").ok());
+}
+
+TEST(ParserTest, MissingFromFails) {
+  EXPECT_FALSE(ParseQuery("SELECT a").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  auto q = ParseQuery(
+               "SELECT a, count(*) AS c FROM t x WHERE a >= 3 GROUP BY a")
+               .ValueOrDie();
+  std::string s = q.ToString();
+  // Re-parse the rendered SQL; must produce the same structure.
+  auto q2 = ParseQuery(s).ValueOrDie();
+  EXPECT_EQ(q2.select.size(), q.select.size());
+  EXPECT_EQ(q2.from[0].alias, "x");
+  EXPECT_EQ(q2.ToString(), s);
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto e = ParseExpression("a.b = 3 AND c <= 2.5").ValueOrDie();
+  auto copy = CloneExpr(e);
+  EXPECT_NE(copy.get(), e.get());
+  EXPECT_NE(copy->left.get(), e->left.get());
+  EXPECT_EQ(copy->ToString(), e->ToString());
+}
+
+TEST(ExprTest, SplitConjunctsFlattensAndTree) {
+  auto e = ParseExpression("a=1 AND b=2 AND (c=3 AND d=4)").ValueOrDie();
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(e, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 4u);
+}
+
+TEST(ExprTest, SplitConjunctsKeepsOrIntact) {
+  auto e = ParseExpression("a=1 OR b=2").ValueOrDie();
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(e, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cajade

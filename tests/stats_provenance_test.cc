@@ -1,0 +1,133 @@
+// Tests for src/stats (statistics, combined NDV caching) and
+// src/provenance (PT construction, naming, partitions, group-by tracking).
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/example_nba.h"
+#include "src/provenance/provenance.h"
+#include "src/sql/parser.h"
+#include "src/stats/table_stats.h"
+
+namespace cajade {
+namespace {
+
+Table MakeStatsTable() {
+  Table t("t", Schema({{"i", DataType::kInt64},
+                       {"d", DataType::kDouble},
+                       {"s", DataType::kString}}));
+  (void)t.AppendRow({Value(int64_t{1}), Value(1.5), Value("a")});
+  (void)t.AppendRow({Value(int64_t{1}), Value(2.5), Value("b")});
+  (void)t.AppendRow({Value(int64_t{2}), Value(2.5), Value("a")});
+  (void)t.AppendRow({Value::Null(), Value::Null(), Value::Null()});
+  return t;
+}
+
+TEST(TableStatsTest, NdvNullsAndRanges) {
+  Table t = MakeStatsTable();
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_EQ(stats.num_rows, 4u);
+  EXPECT_EQ(stats.columns[0].ndv, 2u);
+  EXPECT_EQ(stats.columns[0].null_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.columns[0].min_value, 1.0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].max_value, 2.0);
+  EXPECT_EQ(stats.columns[1].ndv, 2u);
+  EXPECT_EQ(stats.columns[2].ndv, 2u);
+  EXPECT_TRUE(stats.columns[0].numeric);
+  EXPECT_FALSE(stats.columns[2].numeric);
+  EXPECT_EQ(stats.NdvOf(t, "s"), 2u);
+  EXPECT_EQ(stats.NdvOf(t, "missing"), 1u);  // conservative default
+}
+
+TEST(StatsCatalogTest, CachesByNameAndRowCount) {
+  Table t = MakeStatsTable();
+  StatsCatalog catalog;
+  const TableStats& a = catalog.Get(t);
+  const TableStats& b = catalog.Get(t);
+  EXPECT_EQ(&a, &b);  // same cached entry
+  // Appending rows invalidates the cache through the row-count check.
+  (void)t.AppendRow({Value(int64_t{9}), Value(9.0), Value("z")});
+  const TableStats& c = catalog.Get(t);
+  EXPECT_EQ(c.num_rows, 5u);
+}
+
+TEST(StatsCatalogTest, CombinedNdvExactForCorrelatedColumns) {
+  // Two columns that always move together: product-of-ndv would say 4,
+  // the exact combined count is 2.
+  Table t("t", Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}));
+  for (int i = 0; i < 10; ++i) {
+    int64_t v = i % 2;
+    (void)t.AppendRow({Value(v), Value(v * 10)});
+  }
+  StatsCatalog catalog;
+  EXPECT_EQ(catalog.CombinedNdv(t, {0, 1}), 2u);
+  EXPECT_EQ(catalog.CombinedNdvByName(t, {"a", "b"}), 2u);
+  EXPECT_EQ(catalog.CombinedNdvByName(t, {"missing"}), 1u);
+}
+
+TEST(ProvenanceTest, NameManglingMatchesAppendixConvention) {
+  EXPECT_EQ(MangleRelationName("player_game_stats"), "player__game__stats");
+  EXPECT_EQ(ProvenanceColumnName("player_game_stats", "minutes"),
+            "prov_player__game__stats_minutes");
+  EXPECT_EQ(ProvenanceColumnName("game", "season"), "prov_game_season");
+}
+
+class ProvenanceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeExampleNbaDatabase().ValueOrDie(); }
+  Database db_;
+};
+
+TEST_F(ProvenanceFixture, MultiTableProvenanceCarriesAllRelations) {
+  auto query = ParseQuery(
+                   "SELECT g.season, count(*) AS n "
+                   "FROM game g, player_game_scoring p "
+                   "WHERE g.year = p.year AND g.month = p.month AND "
+                   "g.day = p.day AND g.home = p.home AND g.winner = 'GSW' "
+                   "GROUP BY g.season")
+                   .ValueOrDie();
+  auto pt = ComputeProvenance(db_, query).ValueOrDie();
+  ASSERT_EQ(pt.relations.size(), 2u);
+  EXPECT_EQ(pt.relations[0], "game");
+  EXPECT_EQ(pt.relations[1], "player_game_scoring");
+  // Columns from both relations present with prov_ names.
+  EXPECT_GE(pt.FindColumn("game", "winner"), 0);
+  EXPECT_GE(pt.FindColumn("player_game_scoring", "pts"), 0);
+  // Partition sizes sum to the PT size.
+  size_t total = 0;
+  for (const auto& rows : pt.output_to_pt_rows) total += rows.size();
+  EXPECT_EQ(total, pt.table.num_rows());
+  // Alias-scoped lookup.
+  EXPECT_GE(pt.FindColumnForAlias("p", "pts"), 0);
+  EXPECT_EQ(pt.FindColumnForAlias("zz", "pts"), -1);
+  // Group-by source attributes recorded for context-copy exclusion.
+  ASSERT_EQ(pt.group_by_source_attrs.size(), 1u);
+  EXPECT_EQ(pt.group_by_source_attrs[0].first, "game");
+  EXPECT_EQ(pt.group_by_source_attrs[0].second, "season");
+}
+
+TEST_F(ProvenanceFixture, MiningExclusionFlagsSurviveRenaming) {
+  auto query =
+      ParseQuery("SELECT season, count(*) AS n FROM game GROUP BY season")
+          .ValueOrDie();
+  auto pt = ComputeProvenance(db_, query).ValueOrDie();
+  int year = pt.FindColumn("game", "year");
+  ASSERT_GE(year, 0);
+  EXPECT_TRUE(pt.table.schema().column(year).mining_excluded);
+  int home_pts = pt.FindColumn("game", "home_pts");
+  ASSERT_GE(home_pts, 0);
+  EXPECT_FALSE(pt.table.schema().column(home_pts).mining_excluded);
+}
+
+TEST_F(ProvenanceFixture, AliasesOfRelationFindsAll) {
+  auto query =
+      ParseQuery("SELECT season, count(*) AS n FROM game g GROUP BY season")
+          .ValueOrDie();
+  auto pt = ComputeProvenance(db_, query).ValueOrDie();
+  auto aliases = pt.AliasesOfRelation("game");
+  ASSERT_EQ(aliases.size(), 1u);
+  EXPECT_EQ(pt.aliases[aliases[0]], "g");
+  EXPECT_TRUE(pt.AliasesOfRelation("nope").empty());
+}
+
+}  // namespace
+}  // namespace cajade

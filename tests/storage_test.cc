@@ -1,0 +1,168 @@
+// Tests for src/storage: columns (dictionary encoding, nulls), schemas
+// (PK/FK, mining exclusion), tables, and the database catalog.
+
+#include <gtest/gtest.h>
+
+#include "src/storage/database.h"
+
+namespace cajade {
+namespace {
+
+TEST(ColumnTest, IntRoundTrip) {
+  Column c(DataType::kInt64);
+  c.AppendInt(5);
+  c.AppendNull();
+  c.AppendInt(-7);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.GetInt(0), 5);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_EQ(c.GetValue(2), Value(int64_t{-7}));
+  EXPECT_TRUE(c.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, DoubleNumericAccess) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(2.5);
+  EXPECT_DOUBLE_EQ(c.GetNumeric(0), 2.5);
+  Column i(DataType::kInt64);
+  i.AppendInt(4);
+  EXPECT_DOUBLE_EQ(i.GetNumeric(0), 4.0);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c(DataType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  c.AppendString("a");
+  EXPECT_EQ(c.dict_size(), 2u);
+  EXPECT_EQ(c.GetCode(0), c.GetCode(2));
+  EXPECT_NE(c.GetCode(0), c.GetCode(1));
+  EXPECT_EQ(c.GetString(2), "a");
+  EXPECT_EQ(c.FindCode("b"), c.GetCode(1));
+  EXPECT_EQ(c.FindCode("zzz"), -1);
+}
+
+TEST(ColumnTest, AdoptDictionarySharesCodes) {
+  Column src(DataType::kString);
+  src.AppendString("x");
+  src.AppendString("y");
+  Column dst(DataType::kString);
+  dst.AdoptDictionary(src);
+  dst.AppendCode(src.GetCode(1));
+  EXPECT_EQ(dst.GetString(0), "y");
+}
+
+TEST(ColumnTest, AppendValueTypeChecks) {
+  Column c(DataType::kInt64);
+  EXPECT_TRUE(c.AppendValue(Value(int64_t{1})).ok());
+  EXPECT_TRUE(c.AppendValue(Value::Null()).ok());
+  EXPECT_FALSE(c.AppendValue(Value("nope")).ok());
+  Column s(DataType::kString);
+  EXPECT_FALSE(s.AppendValue(Value(1.5)).ok());
+  // Int accepted into double column (widening).
+  Column d(DataType::kDouble);
+  EXPECT_TRUE(d.AppendValue(Value(int64_t{3})).ok());
+  EXPECT_DOUBLE_EQ(d.GetDouble(0), 3.0);
+}
+
+TEST(SchemaTest, DuplicateColumnRejected) {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn("a", DataType::kInt64).ok());
+  EXPECT_FALSE(s.AddColumn("a", DataType::kString).ok());
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), -1);
+}
+
+TEST(SchemaTest, PrimaryKeyAndForeignKeys) {
+  Schema s({{"id", DataType::kInt64}, {"ref", DataType::kInt64}});
+  s.SetPrimaryKey({"id"});
+  s.AddForeignKey({{"ref"}, "other", {"id"}});
+  EXPECT_EQ(s.primary_key().size(), 1u);
+  ASSERT_EQ(s.foreign_keys().size(), 1u);
+  EXPECT_EQ(s.foreign_keys()[0].ref_table, "other");
+}
+
+TEST(SchemaTest, MiningExclusionFlag) {
+  Schema s({{"date", DataType::kInt64, true}, {"v", DataType::kDouble}});
+  EXPECT_TRUE(s.column(0).mining_excluded);
+  EXPECT_FALSE(s.column(1).mining_excluded);
+  s.SetMiningExcluded({"v", "missing"});
+  EXPECT_TRUE(s.column(1).mining_excluded);
+}
+
+TEST(TableTest, AppendRowAndAccess) {
+  Table t("t", Schema({{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value("y")}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetValue(0, 1), Value("x"));
+  EXPECT_TRUE(t.GetValue(1, 0).is_null());
+  // Arity mismatch rejected.
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{1})}).ok());
+}
+
+TEST(TableTest, FindColumn) {
+  Table t("t", Schema({{"a", DataType::kInt64}}));
+  EXPECT_NE(t.FindColumn("a"), nullptr);
+  EXPECT_EQ(t.FindColumn("zz"), nullptr);
+}
+
+TEST(TableTest, AppendRowFromCopiesAllTypes) {
+  Schema schema({{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}});
+  Table src("src", schema);
+  ASSERT_TRUE(src.AppendRow({Value(int64_t{1}), Value(0.5), Value("v")}).ok());
+  ASSERT_TRUE(src.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  Table dst("dst", schema);
+  dst.AppendRowFrom(src, 0);
+  dst.AppendRowFrom(src, 1);
+  EXPECT_EQ(dst.GetValue(0, 2), Value("v"));
+  EXPECT_TRUE(dst.GetValue(1, 0).is_null());
+}
+
+TEST(TableTest, ToStringRendersAndTruncates) {
+  Table t("t", Schema({{"a", DataType::kInt64}}));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(int64_t{i})}).ok());
+  }
+  std::string s = t.ToString(5);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, TakeColumnsMovesData) {
+  Table t("t", Schema({{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{9})}).ok());
+  auto cols = t.TakeColumns();
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0].GetInt(0), 9);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(DatabaseTest, CreateGetAndDuplicates) {
+  Database db;
+  auto t = db.CreateTable("t", Schema({{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_FALSE(db.CreateTable("t", Schema()).ok());
+  EXPECT_TRUE(db.GetTable("t").ok());
+  EXPECT_FALSE(db.GetTable("missing").ok());
+  EXPECT_EQ(db.num_tables(), 1u);
+}
+
+TEST(DatabaseTest, TableNamesSortedAndTotalRows) {
+  Database db;
+  auto b = db.CreateTable("b", Schema({{"x", DataType::kInt64}})).ValueOrDie();
+  auto a = db.CreateTable("a", Schema({{"x", DataType::kInt64}})).ValueOrDie();
+  ASSERT_TRUE(a->AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(b->AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(b->AppendRow({Value(int64_t{2})}).ok());
+  auto names = db.table_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(db.TotalRows(), 3u);
+}
+
+}  // namespace
+}  // namespace cajade
