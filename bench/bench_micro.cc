@@ -1,21 +1,58 @@
-// Google-benchmark micro-benchmarks for the engine substrates: hash joins,
-// pattern matching, LCA candidate generation, random-forest training, and
+// Google-benchmark micro-benchmarks for the engine substrates: hash joins
+// (flat open-addressing vs. the seed's reference implementation, int64 and
+// dictionary-code key paths), pattern matching (scalar vs. columnar kernel),
+// coverage scoring, LCA candidate generation, random-forest training, and
 // APT materialization. Not a paper figure; guards against performance
 // regressions in the hot paths the experiments depend on.
+//
+// `--json <path>` additionally writes the results as JSON (see
+// BENCH_join.json / BENCH_mining.json at the repo root). The binary also
+// counts global heap allocations so the refinement-loop benchmarks can
+// assert the zero-allocation steady state as a reported counter.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <numeric>
+#include <unordered_map>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/datasets/example_nba.h"
 #include "src/exec/join.h"
 #include "src/mining/apt.h"
+#include "src/mining/coverage.h"
 #include "src/mining/lca.h"
 #include "src/mining/miner.h"
+#include "src/mining/pattern_kernel.h"
 #include "src/ml/random_forest.h"
 #include "src/provenance/provenance.h"
 #include "src/sql/parser.h"
+
+// ---- Global allocation counter ---------------------------------------------
+// Counts every operator-new call in the process; benchmarks snapshot it
+// around their inner loop to report heap allocations per iteration.
+
+namespace {
+std::atomic<size_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cajade {
 namespace {
@@ -30,22 +67,104 @@ Table MakeIntTable(const char* name, size_t rows, int64_t key_mod, Rng* rng) {
   return t;
 }
 
-void BM_HashEquiJoin(benchmark::State& state) {
+Table MakeStrTable(const char* name, size_t rows, int64_t vocab, Rng* rng) {
+  Table t(name, Schema({{"k", DataType::kString}, {"v", DataType::kDouble}}));
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    (void)t.AppendRow(
+        {Value("key_" + std::to_string(rng->NextBounded(vocab))),
+         Value(rng->UniformDouble())});
+  }
+  return t;
+}
+
+/// The seed's HashEquiJoin, verbatim (std::unordered_multimap build +
+/// equal_range probe): the "before" row of BENCH_join.json.
+std::vector<std::pair<int64_t, int64_t>> SeedMultimapJoin(
+    const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
+    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  std::unordered_multimap<uint64_t, int64_t> build;
+  build.reserve(right_rows.size() * 2);
+  for (int64_t r : right_rows) {
+    bool has_null = false;
+    for (int c : keys.right_cols) {
+      if (right.column(c).IsNull(r)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    build.emplace(HashRowKey(right, r, keys.right_cols), r);
+  }
+  for (int64_t l : left_rows) {
+    uint64_t h = HashRowKey(left, l, keys.left_cols);
+    auto range = build.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (RowKeysEqual(left, l, keys.left_cols, right, it->second,
+                       keys.right_cols)) {
+        out.emplace_back(l, it->second);
+      }
+    }
+  }
+  return out;
+}
+
+template <typename JoinFn>
+void JoinBenchmark(benchmark::State& state, bool string_keys, JoinFn&& join) {
   Rng rng(1);
   size_t n = static_cast<size_t>(state.range(0));
-  Table left = MakeIntTable("l", n, n / 4, &rng);
-  Table right = MakeIntTable("r", n, n / 4, &rng);
+  int64_t key_mod = static_cast<int64_t>(n) / 4;
+  Table left = string_keys ? MakeStrTable("l", n, key_mod, &rng)
+                           : MakeIntTable("l", n, key_mod, &rng);
+  Table right = string_keys ? MakeStrTable("r", n, key_mod, &rng)
+                            : MakeIntTable("r", n, key_mod, &rng);
   std::vector<int64_t> lrows(n), rrows(n);
   std::iota(lrows.begin(), lrows.end(), 0);
   std::iota(rrows.begin(), rrows.end(), 0);
   JoinKeySpec keys{{0}, {0}};
   for (auto _ : state) {
-    auto pairs = HashEquiJoin(left, lrows, right, rrows, keys);
+    auto pairs = join(left, lrows, right, rrows, keys);
     benchmark::DoNotOptimize(pairs.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_HashEquiJoin)->Arg(1000)->Arg(10000);
+
+void BM_HashEquiJoin(benchmark::State& state) {
+  JoinBenchmark(state, /*string_keys=*/false,
+                [](auto&... args) { return HashEquiJoin(args...); });
+}
+BENCHMARK(BM_HashEquiJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashEquiJoinRef(benchmark::State& state) {
+  JoinBenchmark(state, /*string_keys=*/false,
+                [](auto&... args) { return ReferenceHashEquiJoin(args...); });
+}
+BENCHMARK(BM_HashEquiJoinRef)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashEquiJoinStr(benchmark::State& state) {
+  JoinBenchmark(state, /*string_keys=*/true,
+                [](auto&... args) { return HashEquiJoin(args...); });
+}
+BENCHMARK(BM_HashEquiJoinStr)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashEquiJoinStrRef(benchmark::State& state) {
+  JoinBenchmark(state, /*string_keys=*/true,
+                [](auto&... args) { return ReferenceHashEquiJoin(args...); });
+}
+BENCHMARK(BM_HashEquiJoinStrRef)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashEquiJoinSeed(benchmark::State& state) {
+  JoinBenchmark(state, /*string_keys=*/false,
+                [](auto&... args) { return SeedMultimapJoin(args...); });
+}
+BENCHMARK(BM_HashEquiJoinSeed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashEquiJoinStrSeed(benchmark::State& state) {
+  JoinBenchmark(state, /*string_keys=*/true,
+                [](auto&... args) { return SeedMultimapJoin(args...); });
+}
+BENCHMARK(BM_HashEquiJoinStrSeed)->Arg(1000)->Arg(10000)->Arg(100000);
 
 struct ExampleFixture {
   Database db;
@@ -95,19 +214,23 @@ struct ExampleFixture {
     }();
     return *f;
   }
+
+  Pattern CurryPattern() const {
+    int player_col = apt.table.schema().FindColumn("player_game_scoring.player");
+    int pts_col = apt.table.schema().FindColumn("player_game_scoring.pts");
+    Pattern p;
+    p.preds.push_back(
+        PatternPredicate::Make(apt.table, player_col, PredOp::kEq,
+                               Value("S. Curry")));
+    p.preds.push_back(PatternPredicate::Make(apt.table, pts_col, PredOp::kGe,
+                                             Value(int64_t{23})));
+    return p;
+  }
 };
 
 void BM_PatternMatch(benchmark::State& state) {
   auto& fx = ExampleFixture::Get();
-  int player_col =
-      fx.apt.table.schema().FindColumn("player_game_scoring.player");
-  int pts_col = fx.apt.table.schema().FindColumn("player_game_scoring.pts");
-  Pattern p;
-  p.preds.push_back(PatternPredicate::Make(fx.apt.table, player_col,
-                                           PredOp::kEq, Value("S. Curry")));
-  p.preds.push_back(
-      PatternPredicate::Make(fx.apt.table, pts_col, PredOp::kGe,
-                             Value(int64_t{23})));
+  Pattern p = fx.CurryPattern();
   for (auto _ : state) {
     size_t matches = 0;
     for (size_t r = 0; r < fx.apt.num_rows(); ++r) {
@@ -118,6 +241,54 @@ void BM_PatternMatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * fx.apt.num_rows());
 }
 BENCHMARK(BM_PatternMatch);
+
+void BM_PatternKernelMatch(benchmark::State& state) {
+  auto& fx = ExampleFixture::Get();
+  PatternKernel kernel(fx.CurryPattern(), fx.apt.table);
+  std::vector<int32_t> rows;
+  rows.reserve(fx.apt.num_rows());
+  for (auto _ : state) {
+    kernel.MatchAll(fx.apt.num_rows(), &rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.apt.num_rows());
+}
+BENCHMARK(BM_PatternKernelMatch);
+
+/// The refinement inner loop in isolation — compile one numeric predicate,
+/// filter the selection vector into a reused buffer, score via bitmap
+/// popcounts — reporting heap allocations per pattern (0 in steady state).
+void BM_RefineStep(benchmark::State& state) {
+  auto& fx = ExampleFixture::Get();
+  int pts_col = fx.apt.table.schema().FindColumn("player_game_scoring.pts");
+  PatternPredicate pred = PatternPredicate::Make(fx.apt.table, pts_col,
+                                                 PredOp::kGe, Value(int64_t{10}));
+  MetricsView full = FullView(fx.apt, fx.classes);
+  CoverageScorer scorer(fx.classes, full);
+  CoverageBitmap covered;
+  std::vector<int32_t> all_rows(fx.apt.num_rows());
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<int32_t> child;
+  child.reserve(all_rows.size());
+  covered.Reset(scorer.num_positions());
+
+  size_t allocs = 0;
+  for (auto _ : state) {
+    size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    CompiledPredicate cp = CompiledPredicate::Compile(pred, fx.apt.table);
+    cp.FilterInto(all_rows, &child);
+    covered.Reset(scorer.num_positions());
+    CoverageScorer::CoverageFromRows(child, fx.apt.pt_row, &covered);
+    PatternScores s0 = scorer.Score(covered, 0);
+    PatternScores s1 = scorer.Score(covered, 1);
+    benchmark::DoNotOptimize(s0.fscore + s1.fscore);
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+  }
+  state.SetItemsProcessed(state.iterations() * all_rows.size());
+  state.counters["heap_allocs_per_pattern"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RefineStep);
 
 void BM_LcaCandidates(benchmark::State& state) {
   auto& fx = ExampleFixture::Get();
@@ -173,6 +344,63 @@ void BM_ForestTrain(benchmark::State& state) {
 BENCHMARK(BM_ForestTrain);
 
 }  // namespace
+
+/// Whether a benchmark run failed/was skipped, across google-benchmark API
+/// generations: 1.8+ has Run::skipped, earlier versions Run::error_occurred.
+template <typename R>
+auto RunWasSkipped(const R& run, int) -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+template <typename R>
+bool RunWasSkipped(const R& run, long) {
+  return run.error_occurred;
+}
+
+/// Console reporter that also captures each run into a BenchJsonWriter.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::BenchJsonWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (RunWasSkipped(run, 0)) continue;
+      double items_per_second = 0;
+      std::vector<std::pair<std::string, double>> extra;
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "items_per_second") {
+          items_per_second = counter;
+        } else {
+          extra.emplace_back(name, counter);
+        }
+      }
+      writer_->Add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                   run.iterations, items_per_second, extra);
+    }
+  }
+
+ private:
+  bench::BenchJsonWriter* writer_;
+};
+
 }  // namespace cajade
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = cajade::bench::ExtractJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    cajade::bench::BenchJsonWriter writer;
+    cajade::JsonCaptureReporter reporter(&writer);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!writer.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,16 @@
 // Shared helpers for the experiment drivers in bench/: dataset + question
-// setup for the paper's workloads, environment-variable knobs, and table
-// printing.
+// setup for the paper's workloads, environment-variable knobs, table
+// printing, and machine-readable (JSON) benchmark output.
 //
 // Every bench binary prints the rows/series of one paper table or figure.
 // Defaults are sized to finish in seconds on a laptop; set CAJADE_FULL=1
 // for sweeps closer to the paper's full parameter ranges, CAJADE_SCALE to
 // override the dataset scale factor, and CAJADE_EDGES to override
 // lambda_#edges.
+//
+// Pass `--json <path>` to a driver that supports it (bench_micro) to also
+// write its results as JSON — this is what produces the committed
+// BENCH_join.json / BENCH_mining.json perf-trajectory files.
 
 #ifndef CAJADE_BENCH_BENCH_UTIL_H_
 #define CAJADE_BENCH_BENCH_UTIL_H_
@@ -37,6 +41,70 @@ inline int EnvEdges(int fallback) {
   const char* v = std::getenv("CAJADE_EDGES");
   return v != nullptr ? std::atoi(v) : fallback;
 }
+
+/// Strips a `--json <path>` flag from argv and returns the path ("" when
+/// absent), so drivers can forward the remaining flags to their own parsing.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < *argc) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return path;
+    }
+  }
+  return "";
+}
+
+/// \brief Collects benchmark rows and writes them as a small JSON document:
+/// {"benchmarks": [{"name", "real_time_ns", "iterations",
+/// "items_per_second", "counters": {...}}]}. Future PRs diff these files to
+/// track the perf trajectory.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& name, double real_time_ns, int64_t iterations,
+           double items_per_second,
+           const std::vector<std::pair<std::string, double>>& counters = {}) {
+    rows_.push_back({name, real_time_ns, iterations, items_per_second, counters});
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"real_time_ns\": %.1f, "
+                   "\"iterations\": %lld, \"items_per_second\": %.1f",
+                   r.name.c_str(), r.real_time_ns,
+                   static_cast<long long>(r.iterations), r.items_per_second);
+      if (!r.counters.empty()) {
+        std::fprintf(f, ", \"counters\": {");
+        for (size_t c = 0; c < r.counters.size(); ++c) {
+          std::fprintf(f, "\"%s\": %.3f%s", r.counters[c].first.c_str(),
+                       r.counters[c].second,
+                       c + 1 < r.counters.size() ? ", " : "");
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_time_ns;
+    int64_t iterations;
+    double items_per_second;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Row> rows_;
+};
 
 /// The paper's user questions (Tables 4 and 6), 1-indexed per workload.
 inline UserQuestion NbaQuestion(int index) {

@@ -1,0 +1,126 @@
+#include "src/exec/flat_hash.h"
+
+namespace cajade {
+
+namespace {
+
+// Max load factor 7/8 on distinct keys; duplicates live in chains and do not
+// consume slots.
+inline bool OverLoaded(size_t used, size_t slots) {
+  return (used + 1) * 8 > slots * 7;
+}
+
+inline size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FlatMultiMap::Reserve(size_t n) {
+  entries_.reserve(n);
+  entry_slots_.reserve(n);
+  size_t want = NextPow2(n + n / 4 + 1);
+  if (want > slots_.size()) Rehash(want);
+}
+
+void FlatMultiMap::Rehash(size_t new_slot_count) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_slot_count, Slot{});
+  const size_t mask = new_slot_count - 1;
+  for (const Slot& s : old) {
+    if (s.head < 0) continue;
+    size_t i = static_cast<size_t>(s.hash) & mask;
+    while (slots_[i].head >= 0) i = (i + 1) & mask;
+    slots_[i] = s;  // chains live in entries_ and move wholesale
+  }
+  // Recorded home slots are stale once occupied slots move.
+  if (num_entries_ > 0) entry_slots_valid_ = false;
+}
+
+void FlatMultiMap::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  payloads_.resize(entries_.size());
+  const size_t num_slots = slots_.size();
+
+  if (entry_slots_valid_) {
+    // Counting sort on recorded home slots: count per slot, prefix-sum into
+    // start offsets, then scatter payloads in insertion order (which keeps
+    // duplicate order stable). Touches entries sequentially — no chain
+    // chasing.
+    std::vector<int32_t> cursor(num_slots, 0);
+    for (int32_t s : entry_slots_) ++cursor[s];
+    int32_t pos = 0;
+    for (size_t i = 0; i < num_slots; ++i) {
+      Slot& s = slots_[i];
+      if (s.head < 0) continue;
+      const int32_t count = cursor[i];
+      cursor[i] = pos;
+      s.head = pos;
+      s.tail = count;
+      pos += count;
+    }
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      payloads_[cursor[entry_slots_[e]]++] = entries_[e].payload;
+    }
+  } else {
+    // Fallback after a mid-build rehash: walk the duplicate chains.
+    size_t pos = 0;
+    constexpr size_t kAhead = 8;
+    for (size_t i = 0; i < num_slots; ++i) {
+      if (i + kAhead < num_slots) {
+        const Slot& a = slots_[i + kAhead];
+        if (a.head >= 0) __builtin_prefetch(&entries_[a.head]);
+      }
+      Slot& s = slots_[i];
+      if (s.head < 0) continue;
+      const int32_t start = static_cast<int32_t>(pos);
+      for (int32_t e = s.head; e >= 0;) {
+        const Entry& en = entries_[e];
+        if (en.next >= 0) __builtin_prefetch(&entries_[en.next]);
+        payloads_[pos++] = en.payload;
+        e = en.next;
+      }
+      s.head = start;
+      s.tail = static_cast<int32_t>(pos) - start;
+    }
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+  entry_slots_.clear();
+  entry_slots_.shrink_to_fit();
+}
+
+void FlatMultiMap::Insert(uint64_t hash, int64_t payload) {
+  if (slots_.empty() || OverLoaded(used_slots_, slots_.size())) {
+    Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+  }
+  const int32_t id = static_cast<int32_t>(entries_.size());
+  entries_.push_back({payload, -1});
+  ++num_entries_;
+
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.head < 0) {
+      s.hash = hash;
+      s.head = id;
+      s.tail = id;
+      ++used_slots_;
+      entry_slots_.push_back(static_cast<int32_t>(i));
+      return;
+    }
+    if (s.hash == hash) {
+      entries_[s.tail].next = id;
+      s.tail = id;
+      entry_slots_.push_back(static_cast<int32_t>(i));
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+}  // namespace cajade

@@ -1,0 +1,127 @@
+// Open-addressing hash multimap for the join hot path.
+//
+// Layout: a power-of-two slot array (linear probing) where each slot owns one
+// distinct 64-bit key hash and the head/tail of a chain through a contiguous
+// entry array. Duplicate keys append to the chain, so a probe touches one
+// cache line to locate the key and then walks a flat chain — no per-node
+// allocation and no pointer-sized bucket lists, unlike
+// std::unordered_multimap. Finalize() optionally regroups duplicates into
+// dense payload runs so repeated probes read contiguous memory.
+//
+// The table stores hashes only. Callers that hash injectively (e.g.
+// SplitMix64 of an int64 key or of a dictionary code) need no verification on
+// probe; callers with lossy hashes (multi-column string keys) must re-check
+// equality per chain entry.
+
+#ifndef CAJADE_EXEC_FLAT_HASH_H_
+#define CAJADE_EXEC_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cajade {
+
+/// Finalizer from the splitmix64 generator: a bijection on uint64, so two
+/// distinct 64-bit inputs never collide.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief Flat multimap from 64-bit hashes to int64 payloads.
+///
+/// Chains preserve insertion order, which is what lets the join reproduce the
+/// reference implementation's output byte for byte.
+class FlatMultiMap {
+ public:
+  /// Pre-sizes for `n` entries (worst case all-distinct keys) so the insert
+  /// loop never rehashes.
+  void Reserve(size_t n);
+
+  void Insert(uint64_t hash, int64_t payload);
+
+  /// Regroups duplicate payloads into contiguous runs so every probe reads a
+  /// dense slice instead of walking a linked chain. Call once after the last
+  /// Insert (further inserts are invalid); probing works either way, order is
+  /// identical.
+  void Finalize();
+
+  /// Invokes `fn(payload)` for every entry whose stored hash equals `hash`,
+  /// in insertion order.
+  template <typename Fn>
+  void ForEach(uint64_t hash, Fn&& fn) const {
+    if (slots_.empty()) return;
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.head < 0) return;  // hit an empty slot: hash absent
+      if (s.hash == hash) {
+        if (finalized_) {
+          const int64_t* p = payloads_.data() + s.head;
+          for (int32_t k = 0; k < s.tail; ++k) fn(p[k]);
+        } else {
+          for (int32_t e = s.head; e >= 0; e = entries_[e].next) {
+            fn(entries_[e].payload);
+          }
+        }
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Hints the cache that `hash`'s home slot is about to be touched. Probe
+  /// and build loops call this a few keys ahead to overlap the (random) slot
+  /// loads that otherwise dominate large-table joins.
+  void Prefetch(uint64_t hash) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[static_cast<size_t>(hash) & (slots_.size() - 1)]);
+    }
+  }
+
+  /// Total entries inserted (duplicates included).
+  size_t size() const { return num_entries_; }
+  /// Distinct hashes present.
+  size_t distinct_keys() const { return used_slots_; }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    /// Building: chain head into entries_ (-1 = empty slot).
+    /// Finalized: start offset of this key's contiguous run in payloads_.
+    int32_t head = -1;
+    /// Building: chain tail (append point for duplicates).
+    /// Finalized: run length.
+    int32_t tail = -1;
+  };
+
+  /// Build-time node: payload and next-duplicate link share a cache line so
+  /// chain walks cost one miss per entry, not two.
+  struct Entry {
+    int64_t payload;
+    int32_t next;
+  };
+
+  void Rehash(size_t new_slot_count);
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;     ///< build-time chains (freed by Finalize)
+  std::vector<int64_t> payloads_;  ///< finalized contiguous runs
+  /// Home slot of each entry, recorded at insert time so Finalize can
+  /// regroup by counting sort instead of walking chains. Invalidated (and
+  /// the chain-walk fallback used) when a rehash moves slots after entries
+  /// exist — Reserve()d tables never rehash mid-build.
+  std::vector<int32_t> entry_slots_;
+  size_t num_entries_ = 0;
+  size_t used_slots_ = 0;
+  bool finalized_ = false;
+  bool entry_slots_valid_ = true;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_EXEC_FLAT_HASH_H_

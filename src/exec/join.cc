@@ -1,6 +1,11 @@
 #include "src/exec/join.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <unordered_map>
+
+#include "src/exec/flat_hash.h"
 
 namespace cajade {
 
@@ -10,13 +15,39 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+// 2^63 as a double; doubles in [-2^63, 2^63) cast to int64 losslessly.
+constexpr double kInt64Lo = -9223372036854775808.0;
+constexpr double kInt64Hi = 9223372036854775808.0;
+
+/// Exact INT64 == DOUBLE: the double must hold exactly that integer. Avoids
+/// the seed's widen-to-double compare, under which ints differing only
+/// beyond 2^53 were "equal".
+inline bool IntEqualsDouble(int64_t i, double d) {
+  return d >= kInt64Lo && d < kInt64Hi && d == std::floor(d) &&
+         static_cast<int64_t>(d) == i;
+}
+
+/// Canonical hash of a numeric cell: integral values (from either physical
+/// type) hash as their int64 — this branch also folds -0.0 and +0.0 together
+/// — everything else by double bit pattern. Keeps hash-equality aligned with
+/// the exact cross-type equality in CellsEqual while preserving full int64
+/// precision.
+inline uint64_t HashDoubleCanonical(double d) {
+  if (d >= kInt64Lo && d < kInt64Hi && d == std::floor(d)) {
+    return SplitMix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return SplitMix64(bits);
+}
+
 inline uint64_t HashCell(const Column& col, int64_t row) {
   if (col.IsNull(row)) return 0xdeadULL;
   switch (col.type()) {
     case DataType::kInt64:
-      return std::hash<double>()(static_cast<double>(col.GetInt(row)));
+      return SplitMix64(static_cast<uint64_t>(col.GetInt(row)));
     case DataType::kDouble:
-      return std::hash<double>()(col.GetDouble(row));
+      return HashDoubleCanonical(col.GetDouble(row));
     case DataType::kString:
       return std::hash<std::string>()(col.GetString(row));
     default:
@@ -26,13 +57,254 @@ inline uint64_t HashCell(const Column& col, int64_t row) {
 
 inline bool CellsEqual(const Column& a, int64_t ra, const Column& b, int64_t rb) {
   if (a.IsNull(ra) || b.IsNull(rb)) return false;  // null never joins
-  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
-    return a.GetNumeric(ra) == b.GetNumeric(rb);
+  if (a.type() == DataType::kInt64) {
+    if (b.type() == DataType::kInt64) return a.GetInt(ra) == b.GetInt(rb);
+    if (b.type() == DataType::kDouble) return IntEqualsDouble(a.GetInt(ra), b.GetDouble(rb));
+    return false;
+  }
+  if (a.type() == DataType::kDouble) {
+    if (b.type() == DataType::kDouble) return a.GetDouble(ra) == b.GetDouble(rb);
+    if (b.type() == DataType::kInt64) return IntEqualsDouble(b.GetInt(rb), a.GetDouble(ra));
+    return false;
   }
   if (a.type() == DataType::kString && b.type() == DataType::kString) {
     return a.GetString(ra) == b.GetString(rb);
   }
   return false;
+}
+
+/// Whether any key column of `row` is null.
+inline bool HasNullKey(const Table& t, int64_t row, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (t.column(c).IsNull(row)) return true;
+  }
+  return false;
+}
+
+using PairVec = std::vector<std::pair<int64_t, int64_t>>;
+
+// How many keys ahead the build/probe loops prefetch home slots.
+constexpr size_t kPrefetchDistance = 16;
+
+/// \brief Build rows grouped by a dense integer key in [0, range):
+/// counting-sort layout where key k's rows occupy
+/// rows[offsets[k] .. offsets[k+1]), in build order. Probing is two array
+/// reads — no hashing, no hash-table slots.
+struct DenseGroups {
+  std::vector<int32_t> offsets;  ///< size range + 1
+  std::vector<int64_t> rows;
+
+  /// `key_of(r)` returns the dense key of build row r, or -1 to skip it.
+  template <typename KeyFn>
+  void Build(size_t range, const std::vector<int64_t>& build_rows,
+             KeyFn&& key_of) {
+    offsets.assign(range + 1, 0);
+    size_t kept = 0;
+    for (int64_t r : build_rows) {
+      int64_t k = key_of(r);
+      if (k < 0) continue;
+      ++offsets[static_cast<size_t>(k) + 1];
+      ++kept;
+    }
+    for (size_t k = 1; k <= range; ++k) offsets[k] += offsets[k - 1];
+    rows.resize(kept);
+    std::vector<int32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (int64_t r : build_rows) {
+      int64_t k = key_of(r);
+      if (k < 0) continue;
+      rows[cursor[static_cast<size_t>(k)]++] = r;
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(size_t key, Fn&& fn) const {
+    const int32_t begin = offsets[key];
+    const int32_t end = offsets[key + 1];
+    for (int32_t i = begin; i < end; ++i) fn(rows[i]);
+  }
+};
+
+/// Whether a dense counting layout pays off for `range` distinct key values
+/// against `n` build rows: the offsets array must stay cache-resident and
+/// not dwarf the data.
+inline bool DenseWorthwhile(uint64_t range, size_t n) {
+  return range <= (uint64_t{1} << 22) && range <= 4 * static_cast<uint64_t>(n) + 1024;
+}
+
+/// Single INT64 = INT64 key. When the build keys span a small range the join
+/// runs on a dense counting layout (common for id/foreign-key columns);
+/// otherwise it falls back to the flat hash table, where SplitMix64 is
+/// injective on the key so probes need no equality re-check.
+PairVec JoinInt64Keys(const Column& lc, const std::vector<int64_t>& left_rows,
+                      const Column& rc, const std::vector<int64_t>& right_rows) {
+  PairVec out;
+  out.reserve(left_rows.size());
+  const std::vector<int64_t>& rvals = rc.ints();
+  const std::vector<int64_t>& lvals = lc.ints();
+
+  // Key-range scan of the build side (cheap, sequential).
+  int64_t kmin = 0, kmax = -1;
+  bool any = false;
+  for (int64_t r : right_rows) {
+    if (rc.IsNull(r)) continue;
+    int64_t v = rvals[r];
+    if (!any) {
+      kmin = kmax = v;
+      any = true;
+    } else {
+      kmin = std::min(kmin, v);
+      kmax = std::max(kmax, v);
+    }
+  }
+  if (!any) return out;
+  // Unsigned width so keys spanning the full int64 range wrap to 0 instead
+  // of overflowing; 0 (and any huge width) falls through to the hash path.
+  const uint64_t range =
+      static_cast<uint64_t>(kmax) - static_cast<uint64_t>(kmin) + 1;
+
+  if (range != 0 && DenseWorthwhile(range, right_rows.size())) {
+    DenseGroups groups;
+    groups.Build(range, right_rows, [&](int64_t r) -> int64_t {
+      if (rc.IsNull(r)) return -1;
+      return static_cast<int64_t>(static_cast<uint64_t>(rvals[r]) -
+                                  static_cast<uint64_t>(kmin));
+    });
+    for (int64_t l : left_rows) {
+      if (lc.IsNull(l)) continue;
+      int64_t v = lvals[l];
+      if (v < kmin || v > kmax) continue;
+      groups.ForEach(
+          static_cast<size_t>(static_cast<uint64_t>(v) -
+                              static_cast<uint64_t>(kmin)),
+          [&](int64_t r) { out.emplace_back(l, r); });
+    }
+    return out;
+  }
+
+  FlatMultiMap build;
+  build.Reserve(right_rows.size());
+  const size_t nr = right_rows.size();
+  for (size_t i = 0; i < nr; ++i) {
+    if (i + kPrefetchDistance < nr) {
+      int64_t ahead = right_rows[i + kPrefetchDistance];
+      if (!rc.IsNull(ahead)) {
+        build.Prefetch(SplitMix64(static_cast<uint64_t>(rvals[ahead])));
+      }
+    }
+    int64_t r = right_rows[i];
+    if (rc.IsNull(r)) continue;
+    build.Insert(SplitMix64(static_cast<uint64_t>(rvals[r])), r);
+  }
+  build.Finalize();
+  const size_t nl = left_rows.size();
+  for (size_t i = 0; i < nl; ++i) {
+    if (i + kPrefetchDistance < nl) {
+      int64_t ahead = left_rows[i + kPrefetchDistance];
+      if (!lc.IsNull(ahead)) {
+        build.Prefetch(SplitMix64(static_cast<uint64_t>(lvals[ahead])));
+      }
+    }
+    int64_t l = left_rows[i];
+    if (lc.IsNull(l)) continue;
+    build.ForEach(SplitMix64(static_cast<uint64_t>(lvals[l])),
+                  [&](int64_t r) { out.emplace_back(l, r); });
+  }
+  return out;
+}
+
+/// Single STRING = STRING key: joins on dictionary codes. The smaller
+/// dictionary is remapped into the other side's code space once (one string
+/// lookup per distinct value), after which build and probe are pure integer
+/// traffic. Codes are already dense, so the build side lives in a
+/// counting-sort layout whenever the dictionary is reasonably sized, and in
+/// the flat hash table otherwise.
+PairVec JoinDictKeys(const Column& lc, const std::vector<int64_t>& left_rows,
+                     const Column& rc, const std::vector<int64_t>& right_rows) {
+  PairVec out;
+  out.reserve(left_rows.size());
+  const std::vector<int32_t>& lcodes = lc.codes();
+  const std::vector<int32_t>& rcodes = rc.codes();
+
+  // Key space and probe translation: build in the right column's code space
+  // when the left dictionary is the smaller one to remap, and vice versa.
+  const bool remap_left = lc.dict_size() <= rc.dict_size();
+  const size_t key_space = remap_left ? rc.dict_size() : lc.dict_size();
+  std::vector<int32_t> remap(remap_left ? lc.dict_size() : rc.dict_size());
+  if (remap_left) {
+    for (size_t c = 0; c < remap.size(); ++c) {
+      remap[c] = rc.FindCode(lc.DictEntry(static_cast<int32_t>(c)));
+    }
+  } else {
+    for (size_t c = 0; c < remap.size(); ++c) {
+      remap[c] = lc.FindCode(rc.DictEntry(static_cast<int32_t>(c)));
+    }
+  }
+  // Build key of right row r (-1 skips: null, or value the probe side can
+  // never produce); probe key of left row l (-1 misses).
+  auto build_key = [&](int64_t r) -> int64_t {
+    if (rc.IsNull(r)) return -1;
+    return remap_left ? rcodes[r] : remap[rcodes[r]];
+  };
+  auto probe_key = [&](int64_t l) -> int64_t {
+    if (lc.IsNull(l)) return -1;
+    return remap_left ? remap[lcodes[l]] : lcodes[l];
+  };
+
+  if (key_space == 0) return out;
+  if (DenseWorthwhile(key_space, right_rows.size())) {
+    DenseGroups groups;
+    groups.Build(key_space, right_rows, build_key);
+    for (int64_t l : left_rows) {
+      int64_t k = probe_key(l);
+      if (k < 0) continue;
+      groups.ForEach(static_cast<size_t>(k),
+                     [&](int64_t r) { out.emplace_back(l, r); });
+    }
+    return out;
+  }
+
+  FlatMultiMap build;
+  build.Reserve(right_rows.size());
+  for (int64_t r : right_rows) {
+    int64_t k = build_key(r);
+    if (k < 0) continue;
+    build.Insert(SplitMix64(static_cast<uint64_t>(k)), r);
+  }
+  build.Finalize();
+  for (int64_t l : left_rows) {
+    int64_t k = probe_key(l);
+    if (k < 0) continue;
+    build.ForEach(SplitMix64(static_cast<uint64_t>(k)),
+                  [&](int64_t r) { out.emplace_back(l, r); });
+  }
+  return out;
+}
+
+/// General path: canonical row-key hashes into the flat table, equality
+/// verified per chain entry (hashes of multi-column or cross-type keys are
+/// not injective).
+PairVec JoinGeneric(const Table& left, const std::vector<int64_t>& left_rows,
+                    const Table& right, const std::vector<int64_t>& right_rows,
+                    const JoinKeySpec& keys) {
+  PairVec out;
+  out.reserve(left_rows.size());
+  FlatMultiMap build;
+  build.Reserve(right_rows.size());
+  for (int64_t r : right_rows) {
+    if (HasNullKey(right, r, keys.right_cols)) continue;
+    build.Insert(HashRowKey(right, r, keys.right_cols), r);
+  }
+  build.Finalize();
+  for (int64_t l : left_rows) {
+    if (HasNullKey(left, l, keys.left_cols)) continue;
+    uint64_t h = HashRowKey(left, l, keys.left_cols);
+    build.ForEach(h, [&](int64_t r) {
+      if (RowKeysEqual(left, l, keys.left_cols, right, r, keys.right_cols)) {
+        out.emplace_back(l, r);
+      }
+    });
+  }
+  return out;
 }
 
 }  // namespace
@@ -56,29 +328,36 @@ bool RowKeysEqual(const Table& a, int64_t row_a, const std::vector<int>& cols_a,
 std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
     const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
     const std::vector<int64_t>& right_rows, const JoinKeySpec& keys) {
+  if (keys.left_cols.size() == 1) {
+    const Column& lc = left.column(keys.left_cols[0]);
+    const Column& rc = right.column(keys.right_cols[0]);
+    if (lc.type() == DataType::kInt64 && rc.type() == DataType::kInt64) {
+      return JoinInt64Keys(lc, left_rows, rc, right_rows);
+    }
+    if (lc.type() == DataType::kString && rc.type() == DataType::kString) {
+      return JoinDictKeys(lc, left_rows, rc, right_rows);
+    }
+  }
+  return JoinGeneric(left, left_rows, right, right_rows, keys);
+}
+
+std::vector<std::pair<int64_t, int64_t>> ReferenceHashEquiJoin(
+    const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
+    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys) {
   std::vector<std::pair<int64_t, int64_t>> out;
-  // Build on the right side.
-  std::unordered_multimap<uint64_t, int64_t> build;
+  std::unordered_map<uint64_t, std::vector<int64_t>> build;
   build.reserve(right_rows.size() * 2);
   for (int64_t r : right_rows) {
-    bool has_null = false;
-    for (int c : keys.right_cols) {
-      if (right.column(c).IsNull(r)) {
-        has_null = true;
-        break;
-      }
-    }
-    if (has_null) continue;
-    build.emplace(HashRowKey(right, r, keys.right_cols), r);
+    if (HasNullKey(right, r, keys.right_cols)) continue;
+    build[HashRowKey(right, r, keys.right_cols)].push_back(r);
   }
-  // Probe with the left side, preserving order.
   for (int64_t l : left_rows) {
-    uint64_t h = HashRowKey(left, l, keys.left_cols);
-    auto range = build.equal_range(h);
-    for (auto it = range.first; it != range.second; ++it) {
-      if (RowKeysEqual(left, l, keys.left_cols, right, it->second,
-                       keys.right_cols)) {
-        out.emplace_back(l, it->second);
+    if (HasNullKey(left, l, keys.left_cols)) continue;
+    auto it = build.find(HashRowKey(left, l, keys.left_cols));
+    if (it == build.end()) continue;
+    for (int64_t r : it->second) {
+      if (RowKeysEqual(left, l, keys.left_cols, right, r, keys.right_cols)) {
+        out.emplace_back(l, r);
       }
     }
   }

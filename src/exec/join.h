@@ -20,17 +20,41 @@ struct JoinKeySpec {
 /// \brief Joins `left_rows` x `right_rows` on the key spec.
 ///
 /// Output pairs are grouped by left row in the order of `left_rows` (probe
-/// side) — downstream code relies on this stability. Null key values never
-/// match (SQL equi-join semantics).
+/// side); within one left row, right matches appear in `right_rows` order —
+/// downstream code relies on this stability. Null key values never match
+/// (SQL equi-join semantics). Numeric keys compare exactly: INT64 keys match
+/// DOUBLE keys holding the same mathematical value, without the 2^53
+/// double-precision collapse (ints differing only beyond 2^53 stay
+/// distinct).
+///
+/// Internally dispatches to typed fast paths — single INT64 keys join on the
+/// raw values, single STRING keys on dictionary codes (the smaller
+/// dictionary is remapped once instead of hashing strings per row) — and
+/// falls back to a hash+verify loop on a flat open-addressing table for
+/// multi-column or mixed-type keys.
 std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
     const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
     const std::vector<int64_t>& right_rows, const JoinKeySpec& keys);
 
+/// Differential-testing oracle: the seed's hash-build/probe-verify algorithm
+/// restated on std::unordered_map with per-key vectors so duplicate matches
+/// come back in deterministic right_rows order (the seed's
+/// unordered_multimap left that order implementation-defined). The verbatim
+/// seed code survives as SeedMultimapJoin in bench/bench_micro.cc, the
+/// "before" side of BENCH_join.json.
+std::vector<std::pair<int64_t, int64_t>> ReferenceHashEquiJoin(
+    const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
+    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys);
+
 /// Combines per-column value hashes for `row` over `cols`; helper shared with
-/// the executor's tuple-based join.
+/// APT index building and distinct-count statistics. Numeric cells hash a
+/// canonical representation (integral values as int64, others by double bit
+/// pattern) consistent with RowKeysEqual across INT64/DOUBLE.
 uint64_t HashRowKey(const Table& table, int64_t row, const std::vector<int>& cols);
 
 /// Column-wise equality of two rows on the given key columns (null != null).
+/// Numeric comparisons are exact (INT64/INT64 compares integers; INT64 vs
+/// DOUBLE matches only when the double holds that exact integer).
 bool RowKeysEqual(const Table& a, int64_t row_a, const std::vector<int>& cols_a,
                   const Table& b, int64_t row_b, const std::vector<int>& cols_b);
 

@@ -66,7 +66,7 @@ const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   Index index;
-  index.reserve(base.num_rows() * 2);
+  index.Reserve(base.num_rows());
   for (size_t r = 0; r < base.num_rows(); ++r) {
     bool has_null = false;
     for (int c : cols) {
@@ -76,9 +76,12 @@ const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
       }
     }
     if (has_null) continue;
-    index.emplace(HashRowKey(base, static_cast<int64_t>(r), cols),
-                  static_cast<int32_t>(r));
+    index.Insert(HashRowKey(base, static_cast<int64_t>(r), cols),
+                 static_cast<int64_t>(r));
   }
+  // Dense payload runs for the (many) probes ahead; also frees the
+  // build-side chain arrays before the index is cached.
+  index.Finalize();
   auto [pos, _] = cache_.emplace(std::move(key), std::move(index));
   return pos->second;
 }
@@ -209,13 +212,12 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
       std::vector<std::pair<int64_t, int64_t>> matches;
       for (size_t l = 0; l < cur.num_rows(); ++l) {
         uint64_t h = HashRowKey(cur, static_cast<int64_t>(l), keys.left_cols);
-        auto range = index.equal_range(h);
-        for (auto it = range.first; it != range.second; ++it) {
+        index.ForEach(h, [&](int64_t r) {
           if (RowKeysEqual(cur, static_cast<int64_t>(l), keys.left_cols, *base,
-                           it->second, keys.right_cols)) {
-            matches.emplace_back(static_cast<int64_t>(l), it->second);
+                           r, keys.right_cols)) {
+            matches.emplace_back(static_cast<int64_t>(l), r);
           }
-        }
+        });
         if (row_limit > 0 && matches.size() > row_limit) {
           return Status::OutOfRange(
               Format("APT exceeds row limit %zu for join graph %s", row_limit,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/exec/flat_hash.h"
 #include "src/graph/join_graph.h"
 #include "src/provenance/provenance.h"
 
@@ -20,10 +21,12 @@ namespace cajade {
 ///
 /// Enumerations revisit the same (relation, join-key) combinations across
 /// hundreds of join graphs; caching the build side makes APT
-/// materialization cost proportional to the APT, not the base tables.
+/// materialization cost proportional to the APT, not the base tables. The
+/// index is a flat open-addressing multimap keyed by canonical row-key
+/// hashes (duplicate chains preserve base-row order).
 class AptIndexCache {
  public:
-  using Index = std::unordered_multimap<uint64_t, int32_t>;
+  using Index = FlatMultiMap;
 
   /// Index of `base` on `cols` (built on first use). The base table must
   /// outlive the cache entry's use.

@@ -1,0 +1,63 @@
+// 64-bit coverage bitmaps for pattern scoring. Coverage (Definition 7a) is a
+// set of PT positions; storing it as packed words turns the TP/FP counting
+// inside F-score calculation into AND + popcount over words instead of a
+// byte-per-position scan, and lets the refinement loop reuse one buffer for
+// every pattern it evaluates.
+
+#ifndef CAJADE_MINING_COVERAGE_H_
+#define CAJADE_MINING_COVERAGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cajade {
+
+/// \brief A fixed-size bitset sized at runtime, built for reuse: Reset()
+/// keeps the allocation.
+class CoverageBitmap {
+ public:
+  CoverageBitmap() = default;
+  explicit CoverageBitmap(size_t bits) { Reset(bits); }
+
+  /// Resizes to `bits` positions and clears every bit. Never shrinks
+  /// capacity, so steady-state use allocates nothing.
+  void Reset(size_t bits) {
+    num_bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  size_t num_bits() const { return num_bits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  /// Number of set bits.
+  size_t Popcount() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// popcount(this & other); both bitmaps must be the same size.
+  size_t AndPopcount(const CoverageBitmap& other) const {
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return n;
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t num_bits_ = 0;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_MINING_COVERAGE_H_

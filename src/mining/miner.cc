@@ -5,7 +5,9 @@
 #include <set>
 #include <unordered_set>
 
+#include "src/mining/coverage.h"
 #include "src/mining/lca.h"
+#include "src/mining/pattern_kernel.h"
 #include "src/ml/feature_matrix.h"
 #include "src/ml/random_forest.h"
 #include "src/ml/varclus.h"
@@ -73,26 +75,10 @@ std::vector<double> FragmentBoundaries(const Apt& apt, const MetricsView& view,
   return bounds;
 }
 
-/// Single-predicate row test (fast path for incremental refinement).
-inline bool PredMatches(const PatternPredicate& p, const Table& t, size_t row) {
-  const Column& col = t.column(p.col);
-  if (col.IsNull(row)) return false;
-  if (col.type() == DataType::kString) {
-    return p.op == PredOp::kEq && p.code >= 0 && col.GetCode(row) == p.code;
-  }
-  double v = col.GetNumeric(row);
-  switch (p.op) {
-    case PredOp::kEq:
-      return v == p.num;
-    case PredOp::kLe:
-      return v <= p.num;
-    case PredOp::kGe:
-      return v >= p.num;
-  }
-  return false;
-}
-
-/// Recursive-refinement driver state.
+/// Recursive-refinement driver state. The coverage bitmap and the per-depth
+/// selection buffers are owned here and reused across every pattern
+/// evaluated, so the refinement loop itself performs no per-pattern heap
+/// allocation for scoring or row filtering.
 struct RefineContext {
   const Apt* apt;
   const PtClasses* classes;
@@ -102,6 +88,9 @@ struct RefineContext {
   std::vector<int> numeric_attrs;                 // A_num (APT columns)
   std::vector<std::vector<double>> boundaries;    // per numeric attr
   std::vector<MinedPattern>* pool;
+  CoverageScorer scorer;                          // built once per Mine()
+  CoverageBitmap covered;                         // reusable scratch
+  std::vector<std::vector<int32_t>> row_arena;    // child rows, one per depth
   size_t evaluated = 0;
   size_t row_work = 0;
   bool budget_exhausted = false;
@@ -109,9 +98,12 @@ struct RefineContext {
 
 /// Scores `pattern` from its matched APT rows, appends qualifying pool
 /// entries, and recursively refines with numeric predicates on attributes
-/// after `next_attr` (the ordering removes duplicate generation).
+/// after `next_attr` (the ordering removes duplicate generation). `depth`
+/// indexes the arena buffer children of this call filter into; the caller's
+/// `matched_rows` lives at depth-1 (or in the seed) and stays untouched.
 void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
-                   const std::vector<int32_t>& matched_rows, size_t next_attr) {
+                   const std::vector<int32_t>& matched_rows, size_t next_attr,
+                   size_t depth) {
   if (ctx.evaluated >= ctx.config->refinement_budget ||
       ctx.row_work >= ctx.config->refinement_row_budget) {
     ctx.budget_exhausted = true;
@@ -119,15 +111,15 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
   }
   ++ctx.evaluated;
 
-  // Coverage bitmap from the matched rows.
+  // Coverage bitmap from the matched rows (reused buffer, popcount scoring).
   double recall[2];
   {
     ScopedStep step(ctx.profiler, "F-score Calc.");
-    std::vector<uint8_t> covered(ctx.apt->pt_rows_used.size(), 0);
-    for (int32_t r : matched_rows) covered[ctx.apt->pt_row[r]] = 1;
+    ctx.covered.Reset(ctx.scorer.num_positions());
+    CoverageScorer::CoverageFromRows(matched_rows, ctx.apt->pt_row,
+                                     &ctx.covered);
     for (int primary = 0; primary < 2; ++primary) {
-      PatternScores s =
-          ScoreFromCoverage(covered, *ctx.classes, *ctx.view, primary);
+      PatternScores s = ctx.scorer.Score(ctx.covered, primary);
       recall[primary] = s.recall;
       if (!pattern.empty() && s.recall > ctx.config->recall_threshold) {
         MinedPattern mp;
@@ -148,6 +140,11 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
     return;
   }
 
+  // The arena is pre-sized in Mine() to the maximum recursion depth, so this
+  // reference (and the `matched_rows` references held by callers above)
+  // stays valid across the recursive calls below.
+  std::vector<int32_t>& child_rows = ctx.row_arena[depth];
+
   ScopedStep step(ctx.profiler, "Refine Patterns");
   for (size_t a = next_attr; a < ctx.numeric_attrs.size(); ++a) {
     int col = ctx.numeric_attrs[a];
@@ -167,16 +164,11 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
         PatternPredicate pred =
             PatternPredicate::Make(ctx.apt->table, col, op, constant);
         ctx.row_work += matched_rows.size();
-        std::vector<int32_t> child_rows;
-        child_rows.reserve(matched_rows.size());
-        for (int32_t r : matched_rows) {
-          if (PredMatches(pred, ctx.apt->table, static_cast<size_t>(r))) {
-            child_rows.push_back(r);
-          }
-        }
+        CompiledPredicate::Compile(pred, ctx.apt->table)
+            .FilterInto(matched_rows, &child_rows);
         if (child_rows.empty()) continue;
         Pattern child = pattern.Refine(std::move(pred));
-        ExpandPattern(ctx, child, child_rows, a + 1);
+        ExpandPattern(ctx, child, child_rows, a + 1, depth + 1);
         if (ctx.budget_exhausted) return;
       }
     }
@@ -369,40 +361,34 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     double recall;
   };
   std::vector<Seed> seeds;
+  CoverageScorer scorer(classes, view);
   {
     ScopedStep step(profiler_, "F-score Calc.");
     // Bound the number of candidates scored (they are ordered by pair
     // frequency, the LCA heuristic's own ranking).
     const size_t kMaxScored = 500;
     size_t scored = 0;
+    PatternKernel kernel;
+    std::vector<int32_t> rows;
+    CoverageBitmap covered;
     for (const auto& cand : candidates) {
       if (scored >= kMaxScored) break;
       ++scored;
-      std::vector<int32_t> rows;
-      std::vector<uint8_t> covered(apt.pt_rows_used.size(), 0);
+      kernel.Compile(cand.pattern, apt.table);
       if (view.all_rows) {
-        for (size_t r = 0; r < apt.num_rows(); ++r) {
-          if (cand.pattern.Matches(apt.table, r)) {
-            rows.push_back(static_cast<int32_t>(r));
-            covered[apt.pt_row[r]] = 1;
-          }
-        }
+        kernel.MatchAll(apt.num_rows(), &rows);
       } else {
-        for (int32_t r : view.apt_rows) {
-          if (cand.pattern.Matches(apt.table, static_cast<size_t>(r))) {
-            rows.push_back(r);
-            covered[apt.pt_row[r]] = 1;
-          }
-        }
+        kernel.MatchInto(view.apt_rows, &rows);
       }
+      covered.Reset(scorer.num_positions());
+      CoverageScorer::CoverageFromRows(rows, apt.pt_row, &covered);
       double best_recall = 0;
       for (int primary = 0; primary < 2; ++primary) {
-        best_recall = std::max(
-            best_recall,
-            ScoreFromCoverage(covered, classes, view, primary).recall);
+        best_recall = std::max(best_recall,
+                               scorer.Score(covered, primary).recall);
       }
       if (best_recall > config_->recall_threshold) {
-        seeds.push_back({cand.pattern, std::move(rows), best_recall});
+        seeds.push_back({cand.pattern, rows, best_recall});
       }
     }
     std::sort(seeds.begin(), seeds.end(),
@@ -436,6 +422,11 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   ctx.profiler = profiler_;
   ctx.numeric_attrs = num_attrs;
   ctx.pool = &pool;
+  ctx.scorer = std::move(scorer);
+  // One selection buffer per recursion level; each level adds one numeric
+  // predicate, so numeric_attrs.size() + 1 covers the deepest chain. Sizing
+  // up front keeps buffer references stable across recursive calls.
+  ctx.row_arena.resize(num_attrs.size() + 1);
   {
     ScopedStep step(profiler_, "Refine Patterns");
     for (size_t a = 0; a < num_attrs.size(); ++a) {
@@ -444,7 +435,7 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     }
   }
   for (const auto& seed : seeds) {
-    ExpandPattern(ctx, seed.pattern, seed.rows, 0);
+    ExpandPattern(ctx, seed.pattern, seed.rows, 0, 0);
     if (ctx.budget_exhausted) break;
   }
   result.patterns_evaluated = ctx.evaluated;
@@ -456,12 +447,18 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
 
   // Exact relative supports (Definition 6) on the full APT for the winners.
   MetricsView full = FullView(apt, classes);
+  CoverageScorer full_scorer(classes, full);
+  PatternKernel kernel;
+  std::vector<int32_t> match_rows;
+  CoverageBitmap covered;
   for (size_t idx : picked) {
     MinedPattern mp = pool[idx];
-    std::vector<uint8_t> covered;
-    ComputeCoverage(mp.pattern, apt, full, &covered);
-    PatternScores sp = ScoreFromCoverage(covered, classes, full, mp.primary);
-    PatternScores so = ScoreFromCoverage(covered, classes, full, 1 - mp.primary);
+    kernel.Compile(mp.pattern, apt.table);
+    kernel.MatchAll(apt.num_rows(), &match_rows);
+    covered.Reset(full_scorer.num_positions());
+    CoverageScorer::CoverageFromRows(match_rows, apt.pt_row, &covered);
+    PatternScores sp = full_scorer.Score(covered, mp.primary);
+    PatternScores so = full_scorer.Score(covered, 1 - mp.primary);
     mp.exact = sp;
     mp.support_primary = sp.tp;
     mp.total_primary = sp.tp + sp.fn;

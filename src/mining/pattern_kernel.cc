@@ -1,0 +1,176 @@
+#include "src/mining/pattern_kernel.h"
+
+#include <numeric>
+
+namespace cajade {
+
+namespace {
+
+/// Shared filter skeleton: `test(row)` decides survival; null rows were
+/// already folded into `test` by the caller.
+template <typename TestFn>
+inline void FilterLoop(const int32_t* in, size_t n, std::vector<int32_t>* out,
+                       TestFn&& test) {
+  for (size_t i = 0; i < n; ++i) {
+    int32_t r = in[i];
+    if (test(r)) out->push_back(r);
+  }
+}
+
+template <typename TestFn>
+inline void CompactLoop(std::vector<int32_t>* rows, TestFn&& test) {
+  size_t w = 0;
+  const size_t n = rows->size();
+  int32_t* data = rows->data();
+  for (size_t i = 0; i < n; ++i) {
+    int32_t r = data[i];
+    data[w] = r;
+    w += test(r) ? 1 : 0;
+  }
+  rows->resize(w);
+}
+
+/// Dispatches one predicate to its typed loop; Body is a template functor
+/// over the row test so both the append and compact variants share it.
+template <typename Body>
+inline void DispatchPredicate(const CompiledPredicate& p, Body&& body) {
+  using Kind = CompiledPredicate::Kind;
+  switch (p.kind) {
+    case Kind::kIntEq:
+      body([&](int32_t r) {
+        return !p.nulls[r] && static_cast<double>(p.ints[r]) == p.num;
+      });
+      break;
+    case Kind::kIntLe:
+      body([&](int32_t r) {
+        return !p.nulls[r] && static_cast<double>(p.ints[r]) <= p.num;
+      });
+      break;
+    case Kind::kIntGe:
+      body([&](int32_t r) {
+        return !p.nulls[r] && static_cast<double>(p.ints[r]) >= p.num;
+      });
+      break;
+    case Kind::kDoubleEq:
+      body([&](int32_t r) { return !p.nulls[r] && p.doubles[r] == p.num; });
+      break;
+    case Kind::kDoubleLe:
+      body([&](int32_t r) { return !p.nulls[r] && p.doubles[r] <= p.num; });
+      break;
+    case Kind::kDoubleGe:
+      body([&](int32_t r) { return !p.nulls[r] && p.doubles[r] >= p.num; });
+      break;
+    case Kind::kCodeEq:
+      body([&](int32_t r) { return !p.nulls[r] && p.codes[r] == p.code; });
+      break;
+    case Kind::kNever:
+      body([](int32_t) { return false; });
+      break;
+  }
+}
+
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const PatternPredicate& pred,
+                                             const Table& table) {
+  CompiledPredicate out;
+  const Column& col = table.column(pred.col);
+  out.nulls = col.nulls().data();
+  switch (col.type()) {
+    case DataType::kString:
+      if (pred.op != PredOp::kEq || pred.code < 0) {
+        out.kind = Kind::kNever;
+      } else {
+        out.kind = Kind::kCodeEq;
+        out.codes = col.codes().data();
+        out.code = pred.code;
+      }
+      break;
+    case DataType::kInt64:
+      out.ints = col.ints().data();
+      out.num = pred.num;
+      out.kind = pred.op == PredOp::kEq   ? Kind::kIntEq
+                 : pred.op == PredOp::kLe ? Kind::kIntLe
+                                          : Kind::kIntGe;
+      break;
+    case DataType::kDouble:
+      out.doubles = col.doubles().data();
+      out.num = pred.num;
+      out.kind = pred.op == PredOp::kEq   ? Kind::kDoubleEq
+                 : pred.op == PredOp::kLe ? Kind::kDoubleLe
+                                          : Kind::kDoubleGe;
+      break;
+    default:
+      out.kind = Kind::kNever;
+  }
+  return out;
+}
+
+bool CompiledPredicate::Test(int32_t row) const {
+  bool result = false;
+  DispatchPredicate(*this, [&](auto&& test) { result = test(row); });
+  return result;
+}
+
+void CompiledPredicate::FilterInto(const std::vector<int32_t>& rows_in,
+                                   std::vector<int32_t>* rows_out) const {
+  rows_out->clear();
+  DispatchPredicate(*this, [&](auto&& test) {
+    FilterLoop(rows_in.data(), rows_in.size(), rows_out, test);
+  });
+}
+
+void CompiledPredicate::FilterInPlace(std::vector<int32_t>* rows) const {
+  DispatchPredicate(*this,
+                    [&](auto&& test) { CompactLoop(rows, test); });
+}
+
+void PatternKernel::Compile(const Pattern& pattern, const Table& table) {
+  preds_.clear();
+  never_matches_ = false;
+  preds_.reserve(pattern.preds.size());
+  for (const PatternPredicate& p : pattern.preds) {
+    preds_.push_back(CompiledPredicate::Compile(p, table));
+    if (preds_.back().kind == CompiledPredicate::Kind::kNever) {
+      never_matches_ = true;
+    }
+  }
+}
+
+void PatternKernel::MatchInto(const std::vector<int32_t>& rows_in,
+                              std::vector<int32_t>* rows_out) const {
+  rows_out->clear();
+  if (never_matches_) return;
+  if (preds_.empty()) {
+    rows_out->assign(rows_in.begin(), rows_in.end());
+    return;
+  }
+  preds_[0].FilterInto(rows_in, rows_out);
+  for (size_t i = 1; i < preds_.size() && !rows_out->empty(); ++i) {
+    preds_[i].FilterInPlace(rows_out);
+  }
+}
+
+void PatternKernel::MatchAll(size_t num_rows,
+                             std::vector<int32_t>* rows_out) const {
+  rows_out->clear();
+  if (never_matches_) return;
+  if (preds_.empty()) {
+    rows_out->resize(num_rows);
+    std::iota(rows_out->begin(), rows_out->end(), 0);
+    return;
+  }
+  rows_out->reserve(num_rows);
+  DispatchPredicate(preds_[0], [&](auto&& test) {
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (test(static_cast<int32_t>(r))) {
+        rows_out->push_back(static_cast<int32_t>(r));
+      }
+    }
+  });
+  for (size_t i = 1; i < preds_.size() && !rows_out->empty(); ++i) {
+    preds_[i].FilterInPlace(rows_out);
+  }
+}
+
+}  // namespace cajade

@@ -1,0 +1,89 @@
+// Columnar predicate kernels for pattern matching. A Pattern is compiled
+// once into typed per-column predicate loops (raw data-array pointers, no
+// Value boxing, no per-row virtual dispatch); matching then runs over
+// selection vectors of row ids, which is the hot loop of seed scoring and
+// numeric refinement in the miner.
+//
+// Kernels are exactly equivalent to the scalar Pattern::Matches loop: null
+// cells never match, string predicates require an in-dictionary code and the
+// kEq operator, numeric comparisons happen in the double domain.
+
+#ifndef CAJADE_MINING_PATTERN_KERNEL_H_
+#define CAJADE_MINING_PATTERN_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mining/pattern.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+
+/// \brief One pattern predicate compiled against a concrete table.
+///
+/// Holds raw pointers into the table's column storage; the table must
+/// outlive the compiled predicate and not be appended to while it is in use.
+struct CompiledPredicate {
+  enum class Kind : uint8_t {
+    kIntEq,
+    kIntLe,
+    kIntGe,
+    kDoubleEq,
+    kDoubleLe,
+    kDoubleGe,
+    kCodeEq,
+    kNever,  ///< predicate can match no row (e.g. constant not in dictionary)
+  };
+
+  Kind kind = Kind::kNever;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+  const int32_t* codes = nullptr;
+  const uint8_t* nulls = nullptr;
+  double num = 0.0;
+  int32_t code = -1;
+
+  static CompiledPredicate Compile(const PatternPredicate& pred, const Table& table);
+
+  /// Scalar test of one row (used by tests; loops should use FilterInto).
+  bool Test(int32_t row) const;
+
+  /// Appends the rows of `rows_in` that satisfy the predicate to `*rows_out`
+  /// after clearing it. `rows_out` must not alias `rows_in`.
+  void FilterInto(const std::vector<int32_t>& rows_in,
+                  std::vector<int32_t>* rows_out) const;
+
+  /// In-place variant: compacts `*rows` down to the satisfying rows.
+  void FilterInPlace(std::vector<int32_t>* rows) const;
+};
+
+/// \brief A full pattern compiled into a sequence of typed predicate loops.
+class PatternKernel {
+ public:
+  PatternKernel() = default;
+  PatternKernel(const Pattern& pattern, const Table& table) {
+    Compile(pattern, table);
+  }
+
+  void Compile(const Pattern& pattern, const Table& table);
+
+  /// True when some predicate can match no row at all.
+  bool never_matches() const { return never_matches_; }
+
+  /// Batch match: fills `*rows_out` with the rows of `rows_in` matching
+  /// every predicate (cleared first, in input order). An empty pattern
+  /// copies `rows_in`. `rows_out` must not alias `rows_in`.
+  void MatchInto(const std::vector<int32_t>& rows_in,
+                 std::vector<int32_t>* rows_out) const;
+
+  /// Batch match over all rows [0, num_rows).
+  void MatchAll(size_t num_rows, std::vector<int32_t>* rows_out) const;
+
+ private:
+  std::vector<CompiledPredicate> preds_;
+  bool never_matches_ = false;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_MINING_PATTERN_KERNEL_H_

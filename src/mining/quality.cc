@@ -75,21 +75,12 @@ void ComputeCoverage(const Pattern& pattern, const Apt& apt,
   }
 }
 
-PatternScores ScoreFromCoverage(const std::vector<uint8_t>& covered,
-                                const PtClasses& classes,
-                                const MetricsView& view, int primary) {
+namespace {
+
+/// Precision/recall/F-score from raw counts (shared by both scorers).
+PatternScores ScoresFromCounts(int64_t covered_primary, int64_t covered_other,
+                               int64_t n_primary) {
   PatternScores s;
-  int64_t covered_primary = 0, covered_other = 0;
-  for (size_t p = 0; p < covered.size(); ++p) {
-    if (!view.pt_sampled[p] || !covered[p]) continue;
-    if (classes[p] == primary) {
-      ++covered_primary;
-    } else {
-      ++covered_other;
-    }
-  }
-  int64_t n_primary =
-      static_cast<int64_t>(primary == 0 ? view.n1 : view.n2);
   s.tp = covered_primary;
   s.fp = covered_other;
   s.fn = n_primary - covered_primary;
@@ -101,6 +92,46 @@ PatternScores ScoreFromCoverage(const std::vector<uint8_t>& covered,
                  ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
                  : 0.0;
   return s;
+}
+
+}  // namespace
+
+PatternScores ScoreFromCoverage(const std::vector<uint8_t>& covered,
+                                const PtClasses& classes,
+                                const MetricsView& view, int primary) {
+  int64_t covered_primary = 0, covered_other = 0;
+  for (size_t p = 0; p < covered.size(); ++p) {
+    if (!view.pt_sampled[p] || !covered[p]) continue;
+    if (classes[p] == primary) {
+      ++covered_primary;
+    } else {
+      ++covered_other;
+    }
+  }
+  int64_t n_primary =
+      static_cast<int64_t>(primary == 0 ? view.n1 : view.n2);
+  return ScoresFromCounts(covered_primary, covered_other, n_primary);
+}
+
+void CoverageScorer::Build(const PtClasses& classes, const MetricsView& view) {
+  size_t m = view.pt_sampled.size();
+  class_mask_[0].Reset(m);
+  class_mask_[1].Reset(m);
+  for (size_t p = 0; p < m; ++p) {
+    if (view.pt_sampled[p]) class_mask_[classes[p]].Set(p);
+  }
+  n_class_[0] = view.n1;
+  n_class_[1] = view.n2;
+}
+
+PatternScores CoverageScorer::Score(const CoverageBitmap& covered,
+                                    int primary) const {
+  int64_t covered_primary =
+      static_cast<int64_t>(covered.AndPopcount(class_mask_[primary]));
+  int64_t covered_other =
+      static_cast<int64_t>(covered.AndPopcount(class_mask_[1 - primary]));
+  return ScoresFromCounts(covered_primary, covered_other,
+                          static_cast<int64_t>(n_class_[primary]));
 }
 
 PatternScores ScorePattern(const Pattern& pattern, const Apt& apt,

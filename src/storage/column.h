@@ -68,6 +68,8 @@ class Column {
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<int32_t>& codes() const { return codes_; }
+  /// Null mask (1 = null), one byte per cell; raw input for columnar kernels.
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
 
  private:
   DataType type_;

@@ -1,0 +1,230 @@
+// Tests for the columnar pattern kernels and bitset coverage scoring:
+// PatternKernel / CompiledPredicate equivalence with the scalar
+// Pattern::Matches loop on randomized tables, and CoverageScorer equivalence
+// with the byte-vector ScoreFromCoverage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mining/coverage.h"
+#include "src/mining/pattern.h"
+#include "src/mining/pattern_kernel.h"
+#include "src/mining/quality.h"
+#include "src/storage/table.h"
+
+namespace cajade {
+namespace {
+
+/// Random table with one column of each type, with nulls.
+Table RandomTable(size_t rows, Rng* rng) {
+  Table t("t", Schema({{"i", DataType::kInt64},
+                       {"d", DataType::kDouble},
+                       {"s", DataType::kString}}));
+  for (size_t r = 0; r < rows; ++r) {
+    Value i = rng->Bernoulli(0.1) ? Value::Null()
+                                  : Value(rng->UniformInt(-5, 15));
+    Value d = rng->Bernoulli(0.1) ? Value::Null()
+                                  : Value(rng->Uniform(-2.0, 2.0));
+    Value s = rng->Bernoulli(0.1)
+                  ? Value::Null()
+                  : Value("c" + std::to_string(rng->NextBounded(6)));
+    t.AppendRow({i, d, s});
+  }
+  return t;
+}
+
+Pattern RandomPattern(const Table& t, Rng* rng) {
+  Pattern p;
+  if (rng->Bernoulli(0.6)) {
+    // String equality; sometimes a constant missing from the dictionary.
+    std::string c = rng->Bernoulli(0.2)
+                        ? "missing"
+                        : "c" + std::to_string(rng->NextBounded(6));
+    p = p.Refine(PatternPredicate::Make(t, 2, PredOp::kEq, Value(c)));
+  }
+  if (rng->Bernoulli(0.7)) {
+    PredOp op = rng->Bernoulli(0.5) ? PredOp::kLe : PredOp::kGe;
+    p = p.Refine(PatternPredicate::Make(t, 0, op, Value(rng->UniformInt(-5, 15))));
+  }
+  if (rng->Bernoulli(0.7)) {
+    PredOp op = rng->Bernoulli(0.33)   ? PredOp::kEq
+                : rng->Bernoulli(0.5) ? PredOp::kLe
+                                       : PredOp::kGe;
+    p = p.Refine(PatternPredicate::Make(t, 1, op, Value(rng->Uniform(-2.0, 2.0))));
+  }
+  return p;
+}
+
+TEST(PatternKernelTest, MatchAllEqualsScalarLoopRandomized) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    Table t = RandomTable(50 + rng.NextBounded(200), &rng);
+    Pattern p = RandomPattern(t, &rng);
+    PatternKernel kernel(p, t);
+
+    std::vector<int32_t> expected;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (p.Matches(t, r)) expected.push_back(static_cast<int32_t>(r));
+    }
+    std::vector<int32_t> actual;
+    kernel.MatchAll(t.num_rows(), &actual);
+    ASSERT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(PatternKernelTest, MatchIntoFiltersSelectionVector) {
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    Table t = RandomTable(100, &rng);
+    Pattern p = RandomPattern(t, &rng);
+    PatternKernel kernel(p, t);
+
+    std::vector<int32_t> subset;
+    for (int32_t r = 0; r < static_cast<int32_t>(t.num_rows()); ++r) {
+      if (rng.Bernoulli(0.4)) subset.push_back(r);
+    }
+    std::vector<int32_t> expected;
+    for (int32_t r : subset) {
+      if (p.Matches(t, static_cast<size_t>(r))) expected.push_back(r);
+    }
+    std::vector<int32_t> actual;
+    kernel.MatchInto(subset, &actual);
+    ASSERT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+TEST(PatternKernelTest, EmptyPatternMatchesEverything) {
+  Rng rng(31);
+  Table t = RandomTable(40, &rng);
+  PatternKernel kernel{Pattern{}, t};
+  std::vector<int32_t> rows;
+  kernel.MatchAll(t.num_rows(), &rows);
+  ASSERT_EQ(rows.size(), t.num_rows());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(rows[r], static_cast<int32_t>(r));
+  }
+  std::vector<int32_t> subset = {3, 7, 9};
+  std::vector<int32_t> out;
+  kernel.MatchInto(subset, &out);
+  EXPECT_EQ(out, subset);
+}
+
+TEST(PatternKernelTest, MissingDictionaryConstantMatchesNothing) {
+  Rng rng(37);
+  Table t = RandomTable(60, &rng);
+  Pattern p;
+  p = p.Refine(PatternPredicate::Make(t, 2, PredOp::kEq, Value("nope")));
+  PatternKernel kernel(p, t);
+  EXPECT_TRUE(kernel.never_matches());
+  std::vector<int32_t> rows;
+  kernel.MatchAll(t.num_rows(), &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(CompiledPredicateTest, ScalarTestAgreesWithPatternMatches) {
+  Rng rng(41);
+  Table t = RandomTable(80, &rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    int col = static_cast<int>(rng.NextBounded(3));
+    PredOp op = col == 2 ? PredOp::kEq
+                         : (rng.Bernoulli(0.5) ? PredOp::kLe : PredOp::kGe);
+    Value v = col == 0   ? Value(rng.UniformInt(-5, 15))
+              : col == 1 ? Value(rng.Uniform(-2.0, 2.0))
+                         : Value("c" + std::to_string(rng.NextBounded(6)));
+    PatternPredicate pred = PatternPredicate::Make(t, col, op, v);
+    CompiledPredicate cp = CompiledPredicate::Compile(pred, t);
+    Pattern single;
+    single = single.Refine(pred);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      ASSERT_EQ(cp.Test(static_cast<int32_t>(r)), single.Matches(t, r))
+          << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(CoverageBitmapTest, SetTestPopcount) {
+  CoverageBitmap b(130);  // crosses two word boundaries
+  EXPECT_EQ(b.Popcount(), 0u);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_FALSE(b.Test(128));
+  EXPECT_EQ(b.Popcount(), 4u);
+
+  CoverageBitmap other(130);
+  other.Set(63);
+  other.Set(128);
+  other.Set(129);
+  EXPECT_EQ(b.AndPopcount(other), 2u);
+
+  b.Reset(130);
+  EXPECT_EQ(b.Popcount(), 0u);
+}
+
+TEST(CoverageScorerTest, MatchesByteVectorScoringRandomized) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t m = 10 + rng.NextBounded(300);
+    PtClasses classes(m);
+    MetricsView view;
+    view.all_rows = false;
+    view.pt_sampled.assign(m, 0);
+    for (size_t p = 0; p < m; ++p) {
+      classes[p] = rng.Bernoulli(0.4) ? 1 : 0;
+      view.pt_sampled[p] = rng.Bernoulli(0.7) ? 1 : 0;
+      if (!view.pt_sampled[p]) continue;
+      if (classes[p] == 0) {
+        ++view.n1;
+      } else {
+        ++view.n2;
+      }
+    }
+
+    std::vector<uint8_t> covered_bytes(m, 0);
+    CoverageBitmap covered(m);
+    for (size_t p = 0; p < m; ++p) {
+      if (rng.Bernoulli(0.3)) {
+        covered_bytes[p] = 1;
+        covered.Set(p);
+      }
+    }
+
+    CoverageScorer scorer(classes, view);
+    for (int primary = 0; primary < 2; ++primary) {
+      PatternScores expect =
+          ScoreFromCoverage(covered_bytes, classes, view, primary);
+      PatternScores got = scorer.Score(covered, primary);
+      ASSERT_EQ(got.tp, expect.tp) << "trial " << trial;
+      ASSERT_EQ(got.fp, expect.fp) << "trial " << trial;
+      ASSERT_EQ(got.fn, expect.fn) << "trial " << trial;
+      ASSERT_DOUBLE_EQ(got.precision, expect.precision);
+      ASSERT_DOUBLE_EQ(got.recall, expect.recall);
+      ASSERT_DOUBLE_EQ(got.fscore, expect.fscore);
+    }
+  }
+}
+
+TEST(CoverageScorerTest, CoverageFromRowsMapsAptRowsToPtPositions) {
+  // Three APT rows extending PT positions {0, 1, 1}.
+  std::vector<int32_t> pt_row = {0, 1, 1};
+  CoverageBitmap covered(2);
+  CoverageScorer::CoverageFromRows({0, 2}, pt_row, &covered);
+  EXPECT_TRUE(covered.Test(0));
+  EXPECT_TRUE(covered.Test(1));
+  covered.Reset(2);
+  CoverageScorer::CoverageFromRows({1}, pt_row, &covered);
+  EXPECT_FALSE(covered.Test(0));
+  EXPECT_TRUE(covered.Test(1));
+}
+
+}  // namespace
+}  // namespace cajade
