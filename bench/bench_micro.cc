@@ -20,7 +20,9 @@
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/common/timer.h"
 #include "src/datasets/example_nba.h"
+#include "src/datasets/nba.h"
 #include "src/exec/join.h"
 #include "src/mining/apt.h"
 #include "src/mining/coverage.h"
@@ -318,6 +320,71 @@ void BM_MineApt(benchmark::State& state) {
 }
 BENCHMARK(BM_MineApt);
 
+/// End-to-end Explain() on the scaling (synthetic full-schema NBA) dataset
+/// at 1/2/4/8 worker threads. The /1 run records its per-iteration time so
+/// the threaded runs can report `speedup_vs_serial`; a separate
+/// `num_threads` counter keeps the JSON self-describing. The differential
+/// test (tests/parallel_test.cc) pins the outputs bit-identical, so this
+/// measures pure scheduling overhead/scaling, not quality drift.
+void BM_ExplainParallel(benchmark::State& state) {
+  struct ScalingFixture {
+    Database db;
+    SchemaGraph sg;
+    ParsedQuery query;
+    UserQuestion question = bench::NbaQuestion(4);
+
+    static ScalingFixture& Get() {
+      static ScalingFixture* f = [] {
+        auto* fx = new ScalingFixture();
+        NbaOptions opt;
+        opt.scale_factor = 0.05;
+        fx->db = MakeNbaDatabase(opt).ValueOrDie();
+        fx->sg = MakeNbaSchemaGraph(fx->db).ValueOrDie();
+        fx->query = ParseQuery(NbaQuerySql(4)).ValueOrDie();
+        return fx;
+      }();
+      return *f;
+    }
+  };
+  static double serial_seconds_per_iter = 0.0;
+
+  auto& fx = ScalingFixture::Get();
+  int threads = static_cast<int>(state.range(0));
+  Explainer explainer(&fx.db, &fx.sg);
+  explainer.mutable_config()->num_threads = threads;
+  explainer.mutable_config()->max_join_graph_edges = 2;
+
+  double total_seconds = 0.0;
+  size_t explanations = 0;
+  for (auto _ : state) {
+    Timer timer;
+    auto result = explainer.Explain(fx.query, fx.question);
+    total_seconds += timer.ElapsedSeconds();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    explanations = result->explanations.size();
+    benchmark::DoNotOptimize(explanations);
+  }
+  double per_iter = total_seconds / static_cast<double>(state.iterations());
+  if (threads == 1) serial_seconds_per_iter = per_iter;
+  state.counters["num_threads"] = static_cast<double>(threads);
+  state.counters["explanations"] = static_cast<double>(explanations);
+  if (serial_seconds_per_iter > 0.0) {
+    state.counters["speedup_vs_serial"] = serial_seconds_per_iter / per_iter;
+  }
+}
+// No ->Unit() override: the JSON capture writes GetAdjustedRealTime, which
+// reports in the declared unit — every row of BENCH_mining.json stays ns.
+BENCHMARK(BM_ExplainParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_ForestTrain(benchmark::State& state) {
   Rng rng(5);
   FeatureMatrix data;
@@ -390,17 +457,25 @@ int main(int argc, char** argv) {
   std::string json_path = cajade::bench::ExtractJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  size_t num_run = 0;
   if (json_path.empty()) {
-    benchmark::RunSpecifiedBenchmarks();
+    num_run = benchmark::RunSpecifiedBenchmarks();
   } else {
     cajade::bench::BenchJsonWriter writer;
     cajade::JsonCaptureReporter reporter(&writer);
-    benchmark::RunSpecifiedBenchmarks(&reporter);
-    if (!writer.WriteTo(json_path)) {
+    num_run = benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (num_run > 0 && !writer.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
   }
   benchmark::Shutdown();
+  if (num_run == 0) {
+    // A renamed benchmark must not silently pass CI's regression gate: an
+    // empty selection is an error, not an empty success.
+    std::fprintf(stderr,
+                 "bench_micro: --benchmark_filter matched no benchmarks\n");
+    return 1;
+  }
   return 0;
 }

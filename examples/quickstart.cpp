@@ -5,7 +5,10 @@
 // and asks the introduction's user question UQ1: why did GSW win so many
 // more games in 2015-16 than in 2012-13?
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "src/core/explainer.h"
 #include "src/datasets/example_nba.h"
@@ -21,6 +24,19 @@ int main() {
       "FROM game g WHERE winner = 'GSW' GROUP BY winner, season";
 
   Explainer explainer(&db, &schema_graph);
+  // CAJADE_THREADS=0 uses all cores; the ranked output is identical at
+  // every thread count.
+  if (const char* threads = std::getenv("CAJADE_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    long n = std::strtol(threads, &end, 10);
+    if (end == threads || *end != '\0' || n < 0 || errno == ERANGE ||
+        n > std::numeric_limits<int>::max()) {
+      std::fprintf(stderr, "invalid CAJADE_THREADS value: %s\n", threads);
+      return 1;
+    }
+    explainer.mutable_config()->num_threads = static_cast<int>(n);
+  }
   UserQuestion uq1 = UserQuestion::TwoPoint(
       Where({{"season", Value("2015-16")}}),   // t1: the surprising tuple
       Where({{"season", Value("2012-13")}}));  // t2: the baseline tuple

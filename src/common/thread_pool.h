@@ -1,0 +1,74 @@
+// A small fixed-size worker pool for the embarrassingly parallel loops in
+// the engine (per-join-graph explanation, per-APT mining). Plain
+// std::thread + a mutex-protected task queue — no work stealing, no
+// external dependencies. Throughput needs are modest: tasks are
+// coarse-grained (materialize + mine one APT), so a single shared queue is
+// nowhere near contention.
+//
+// Determinism contract: the pool schedules tasks in submission order but
+// completes them in any order. Callers that need reproducible output index
+// results by task id and merge after Wait()/ParallelFor() returns (see
+// Explainer::Explain), so the visible result never depends on the
+// schedule.
+
+#ifndef CAJADE_COMMON_THREAD_POOL_H_
+#define CAJADE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cajade {
+
+/// \brief Fixed-size thread pool with a FIFO task queue.
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1; use
+  /// ResolveThreads to map a config knob onto a thread count first).
+  explicit WorkerPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; Status-style error handling
+  /// belongs inside the task (record the error, merge after Wait).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(0) .. fn(n-1) on the pool and blocks until all calls
+  /// returned. Iterations are claimed dynamically (one atomic fetch-add
+  /// per iteration), so uneven task costs balance across workers. The
+  /// calling thread only waits; total concurrency is num_threads().
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Maps the CajadeConfig::num_threads knob onto a concrete thread
+  /// count: 0 = std::thread::hardware_concurrency() (at least 1),
+  /// otherwise the requested value.
+  static size_t ResolveThreads(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: queue non-empty/stop
+  std::condition_variable idle_cv_;   ///< signals Wait(): everything finished
+  size_t in_flight_ = 0;              ///< dequeued but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_COMMON_THREAD_POOL_H_

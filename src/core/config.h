@@ -66,6 +66,14 @@ struct CajadeConfig {
   double cluster_threshold = 0.9;
   size_t cluster_row_cap = 2000;
 
+  // ---- Parallelism ---------------------------------------------------------
+  /// Worker threads for per-join-graph explanation (materialize + mine).
+  /// 0 = hardware concurrency, 1 = fully serial (no pool). Any value
+  /// produces bit-identical ranked explanations: per-graph RNG streams are
+  /// forked in enumeration order and results merge with a stable tie-break
+  /// on graph index.
+  int num_threads = 1;
+
   // ---- Safety bounds (implementation guards, documented in DESIGN.md) -----
   /// Cap on refinement-pattern evaluations per APT.
   size_t refinement_budget = 20000;

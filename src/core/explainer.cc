@@ -1,9 +1,12 @@
 #include "src/core/explainer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
+#include <utility>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 #include "src/sql/parser.h"
 
 namespace cajade {
@@ -93,7 +96,9 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
   RETURN_NOT_OK(ResolveQuestion(pt, question, &pt_rows, &classes,
                                 &out.t1_description, &out.t2_description));
 
-  // Enumerate join graphs, materialize + mine each valid one.
+  // Enumerate all valid join graphs up front. Enumeration itself is cheap
+  // (graph extension + isValid pruning); the expensive per-graph work
+  // (materialize + mine) fans out below, serially or across a WorkerPool.
   JoinGraphEnumerator::Options opts;
   opts.max_edges = config_.max_join_graph_edges;
   opts.cost_threshold = config_.cost_threshold;
@@ -104,67 +109,153 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
   opts.include_pt_only = config_.include_pt_only_graph;
   JoinGraphEnumerator enumerator(schema_graph_, db_, pt.relations, opts);
 
-  PatternMiner miner(&config_, &out.profile);
-  AptIndexCache index_cache;
-  Timer enum_timer;
-  double callback_seconds = 0.0;
-  Status status = enumerator.Enumerate(
-      static_cast<double>(pt_rows.size()), pt.table.schema().num_columns(),
-      [&](const JoinGraph& graph) -> Status {
-        Timer cb_timer;
-        Apt apt;
-        {
-          ScopedStep step(&out.profile, "Materialize APTs");
-          Result<Apt> apt_result =
-              MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_,
-                             &index_cache, config_.max_apt_rows);
-          if (!apt_result.ok()) {
-            if (apt_result.status().code() == StatusCode::kOutOfRange) {
-              // Cost-estimate miss: the APT blew past the hard cap.
-              ++out.apts_skipped_oversize;
-              callback_seconds += cb_timer.ElapsedSeconds();
-              return Status::OK();
-            }
-            return apt_result.status();
-          }
-          apt = std::move(apt_result).MoveValue();
-        }
-        if (apt.num_rows() == 0) {
-          callback_seconds += cb_timer.ElapsedSeconds();
-          return Status::OK();  // context join eliminated all provenance
-        }
-        Rng graph_rng = rng.Fork();
-        ASSIGN_OR_RETURN(MineResult mined, miner.Mine(apt, classes, &graph_rng));
-        ++out.apts_mined;
-        out.patterns_evaluated += mined.patterns_evaluated;
-        for (const auto& mp : mined.top_k) {
-          Explanation e;
-          e.join_graph = graph.Describe();
-          e.join_conditions = graph.DescribeEdges(*schema_graph_);
-          e.pattern = mp.pattern.Describe(apt.table);
-          e.primary = mp.primary;
-          e.primary_tuple = mp.primary == 0 ? out.t1_description
-                                            : out.t2_description;
-          e.precision = mp.exact.precision;
-          e.recall = mp.exact.recall;
-          e.fscore = mp.exact.fscore;
-          e.fscore_sampled = mp.scores.fscore;
-          e.support_primary = mp.support_primary;
-          e.total_primary = mp.total_primary;
-          e.support_other = mp.support_other;
-          e.total_other = mp.total_other;
-          e.pattern_size = static_cast<int>(mp.pattern.size());
-          out.explanations.push_back(std::move(e));
-        }
-        callback_seconds += cb_timer.ElapsedSeconds();
-        return Status::OK();
-      });
-  RETURN_NOT_OK(status);
-  out.profile.Add("JG Enum.",
-                  std::max(0.0, enum_timer.ElapsedSeconds() - callback_seconds));
+  std::vector<JoinGraph> graphs;
+  {
+    Timer enum_timer;
+    RETURN_NOT_OK(enumerator.Enumerate(
+        static_cast<double>(pt_rows.size()), pt.table.schema().num_columns(),
+        [&](const JoinGraph& graph) -> Status {
+          graphs.push_back(graph);
+          return Status::OK();
+        }));
+    out.profile.Add("JG Enum.", enum_timer.ElapsedSeconds());
+  }
   out.enumeration = enumerator.stats();
 
-  // Global ranking across join graphs by F-score.
+  // One RNG stream per graph, forked in enumeration order. Every graph
+  // consumes a fork whether or not it ends up mined, so the streams — and
+  // therefore all sampling decisions — are independent of the execution
+  // schedule and of which other graphs get skipped.
+  std::vector<Rng> graph_rngs;
+  graph_rngs.reserve(graphs.size());
+  for (size_t i = 0; i < graphs.size(); ++i) graph_rngs.push_back(rng.Fork());
+
+  // Per-graph work, indexed by enumeration order so the merge below
+  // reproduces the serial path exactly regardless of completion order.
+  struct GraphOutcome {
+    Status status = Status::OK();
+    std::vector<Explanation> explanations;
+    size_t patterns_evaluated = 0;
+    bool mined = false;
+    bool skipped_oversize = false;
+    StepProfiler profile;
+  };
+  std::vector<GraphOutcome> outcomes(graphs.size());
+  AptIndexCache index_cache;
+  // A hard error on any graph stops work on graphs not yet started (the
+  // serial path's short-circuit); the merge reports the lowest-index
+  // *recorded* error. With a single failing graph — the realistic case —
+  // that is the same error at every thread count; if several graphs fail,
+  // which of their errors surfaces can depend on the schedule (a
+  // lower-index failure may be skipped after a higher-index one trips the
+  // abort flag). Any of them aborts the call either way.
+  std::atomic<bool> abort_remaining{false};
+
+  auto process_graph_body = [&](size_t gi) {
+    if (abort_remaining.load(std::memory_order_relaxed)) return;
+    const JoinGraph& graph = graphs[gi];
+    GraphOutcome& oc = outcomes[gi];
+    Apt apt;
+    {
+      ScopedStep step(&oc.profile, "Materialize APTs");
+      Result<Apt> apt_result =
+          MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_,
+                         &index_cache, config_.max_apt_rows);
+      if (!apt_result.ok()) {
+        if (apt_result.status().code() == StatusCode::kOutOfRange) {
+          // Cost-estimate miss: the APT blew past the hard cap.
+          oc.skipped_oversize = true;
+        } else {
+          oc.status = apt_result.status();
+          abort_remaining.store(true, std::memory_order_relaxed);
+        }
+        return;
+      }
+      apt = std::move(apt_result).MoveValue();
+    }
+    if (apt.num_rows() == 0) {
+      return;  // context join eliminated all provenance
+    }
+    Rng graph_rng = graph_rngs[gi];
+    PatternMiner miner(&config_, &oc.profile);
+    Result<MineResult> mine_result = miner.Mine(apt, classes, &graph_rng);
+    if (!mine_result.ok()) {
+      oc.status = mine_result.status();
+      abort_remaining.store(true, std::memory_order_relaxed);
+      return;
+    }
+    MineResult mined = std::move(mine_result).MoveValue();
+    oc.mined = true;
+    oc.patterns_evaluated = mined.patterns_evaluated;
+    for (const auto& mp : mined.top_k) {
+      Explanation e;
+      e.join_graph = graph.Describe();
+      e.join_conditions = graph.DescribeEdges(*schema_graph_);
+      e.pattern = mp.pattern.Describe(apt.table);
+      e.primary = mp.primary;
+      e.primary_tuple = mp.primary == 0 ? out.t1_description
+                                        : out.t2_description;
+      e.precision = mp.exact.precision;
+      e.recall = mp.exact.recall;
+      e.fscore = mp.exact.fscore;
+      e.fscore_sampled = mp.scores.fscore;
+      e.support_primary = mp.support_primary;
+      e.total_primary = mp.total_primary;
+      e.support_other = mp.support_other;
+      e.total_other = mp.total_other;
+      e.pattern_size = static_cast<int>(mp.pattern.size());
+      oc.explanations.push_back(std::move(e));
+    }
+  };
+
+  // WorkerPool tasks must not throw; translate anything the graph work
+  // raises (e.g. bad_alloc out of an index build, possibly rethrown to a
+  // cache waiter through its shared_future) into the outcome's Status so
+  // a failure is catchable identically at every thread count.
+  auto process_graph = [&](size_t gi) {
+    try {
+      process_graph_body(gi);
+    } catch (const std::exception& e) {
+      outcomes[gi].status = Status::Internal(
+          Format("explaining join graph %s failed: %s",
+                 graphs[gi].Describe().c_str(), e.what()));
+      abort_remaining.store(true, std::memory_order_relaxed);
+    } catch (...) {
+      outcomes[gi].status = Status::Internal(
+          Format("explaining join graph %s failed: unknown exception",
+                 graphs[gi].Describe().c_str()));
+      abort_remaining.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  size_t threads = WorkerPool::ResolveThreads(config_.num_threads);
+  if (threads <= 1 || graphs.size() <= 1) {
+    for (size_t gi = 0; gi < graphs.size(); ++gi) process_graph(gi);
+  } else {
+    WorkerPool pool(std::min(threads, graphs.size()));
+    pool.ParallelFor(graphs.size(), process_graph);
+  }
+
+  // Deterministic merge in enumeration order: counters, step timings (the
+  // profiler now accumulates summed worker time, which exceeds wall clock
+  // when threads > 1), and explanations. Errors surface lowest-graph-first
+  // so a failure is reported identically at any thread count.
+  for (GraphOutcome& oc : outcomes) {
+    RETURN_NOT_OK(oc.status);
+    if (oc.skipped_oversize) ++out.apts_skipped_oversize;
+    if (oc.mined) ++out.apts_mined;
+    out.patterns_evaluated += oc.patterns_evaluated;
+    for (const auto& [step, seconds] : oc.profile.totals()) {
+      out.profile.Add(step, seconds);
+    }
+    for (Explanation& e : oc.explanations) {
+      out.explanations.push_back(std::move(e));
+    }
+  }
+
+  // Global ranking across join graphs by F-score. stable_sort over the
+  // enumeration-ordered list fixes equal-F-score ties by graph index, so
+  // the ranking is bit-identical at every thread count.
   std::stable_sort(out.explanations.begin(), out.explanations.end(),
                    [](const Explanation& a, const Explanation& b) {
                      return a.fscore > b.fscore;

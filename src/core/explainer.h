@@ -72,6 +72,11 @@ struct ExplainResult {
 };
 
 /// \brief End-to-end explanation engine.
+///
+/// With CajadeConfig::num_threads != 1, candidate join graphs are
+/// materialized and mined concurrently on a WorkerPool; the ranked output
+/// is bit-identical to the serial path (per-graph RNG streams are assigned
+/// in enumeration order and the merge tie-breaks on graph index).
 class Explainer {
  public:
   Explainer(const Database* db, const SchemaGraph* schema_graph,

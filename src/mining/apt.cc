@@ -63,27 +63,58 @@ const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
     key += '|';
     key += std::to_string(c);
   }
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  Index index;
-  index.Reserve(base.num_rows());
-  for (size_t r = 0; r < base.num_rows(); ++r) {
-    bool has_null = false;
-    for (int c : cols) {
-      if (base.column(c).IsNull(r)) {
-        has_null = true;
-        break;
-      }
+  Shard& shard = shards_[std::hash<std::string>{}(key) % kNumShards];
+
+  std::shared_ptr<Entry> entry;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<Entry>();
+      entry->ready = entry->ready_promise.get_future().share();
+      shard.map.emplace(std::move(key), entry);
+      builder = true;
     }
-    if (has_null) continue;
-    index.Insert(HashRowKey(base, static_cast<int64_t>(r), cols),
-                 static_cast<int64_t>(r));
   }
-  // Dense payload runs for the (many) probes ahead; also frees the
-  // build-side chain arrays before the index is cached.
-  index.Finalize();
-  auto [pos, _] = cache_.emplace(std::move(key), std::move(index));
-  return pos->second;
+  if (!builder) {
+    // Built already or being built by another thread; the future's
+    // release/acquire pair orders the build's writes before our reads.
+    // get() (not wait()) rethrows a builder failure instead of returning
+    // a half-built index.
+    entry->ready.get();
+    return entry->index;
+  }
+
+  Index& index = entry->index;
+  try {
+    index.Reserve(base.num_rows());
+    for (size_t r = 0; r < base.num_rows(); ++r) {
+      bool has_null = false;
+      for (int c : cols) {
+        if (base.column(c).IsNull(r)) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;
+      index.Insert(HashRowKey(base, static_cast<int64_t>(r), cols),
+                   static_cast<int64_t>(r));
+    }
+    // Dense payload runs for the (many) probes ahead; also frees the
+    // build-side chain arrays before the index is published.
+    index.Finalize();
+  } catch (...) {
+    // Without this, waiters on the entry would block forever (the promise
+    // would never be fulfilled). They see the same exception instead.
+    entry->ready_promise.set_exception(std::current_exception());
+    throw;
+  }
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  entry->ready_promise.set_value();
+  return index;
 }
 
 Result<Apt> MaterializeApt(const ProvenanceTable& pt,

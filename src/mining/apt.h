@@ -6,6 +6,10 @@
 #ifndef CAJADE_MINING_APT_H_
 #define CAJADE_MINING_APT_H_
 
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +28,13 @@ namespace cajade {
 /// materialization cost proportional to the APT, not the base tables. The
 /// index is a flat open-addressing multimap keyed by canonical row-key
 /// hashes (duplicate chains preserve base-row order).
+///
+/// Safe for concurrent use from the parallel explainer: the key map is
+/// sharded across mutexes, and each entry is built exactly once behind a
+/// std::shared_future — two join graphs sharing a build side neither race
+/// nor duplicate the build (the second caller blocks until the first
+/// finishes). Returned Index references are stable for the cache's
+/// lifetime (entries are heap-owned and never evicted).
 class AptIndexCache {
  public:
   using Index = FlatMultiMap;
@@ -32,8 +43,26 @@ class AptIndexCache {
   /// outlive the cache entry's use.
   const Index& Get(const Table& base, const std::vector<int>& cols);
 
+  /// Number of indexes actually built (not lookups); a concurrent stress
+  /// test asserts this equals the number of distinct keys requested.
+  size_t num_builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
  private:
-  std::unordered_map<std::string, Index> cache_;
+  struct Entry {
+    Index index;
+    std::promise<void> ready_promise;
+    std::shared_future<void> ready;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+  };
+
+  static constexpr size_t kNumShards = 16;
+  Shard shards_[kNumShards];
+  std::atomic<size_t> builds_{0};
 };
 
 /// \brief A materialized APT.

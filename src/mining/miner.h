@@ -57,6 +57,12 @@ struct MineResult {
 /// Step timings are charged to the profiler under the paper's breakdown-row
 /// names: "Feature Selection", "Gen. Pat. Cand.", "Sampling for F1",
 /// "F-score Calc.", "Refine Patterns".
+///
+/// Mine() is const and keeps all scratch state (RefineContext, kernels,
+/// coverage bitmaps, selection arenas) on its own stack, so distinct
+/// miners — or one miner with distinct profilers/RNGs — may run
+/// concurrently on different APTs. The parallel explainer constructs one
+/// PatternMiner + StepProfiler per join-graph task and relies on this.
 class PatternMiner {
  public:
   PatternMiner(const CajadeConfig* config, StepProfiler* profiler)

@@ -1,0 +1,222 @@
+// Concurrency tests: WorkerPool scheduling, the threads-vs-serial
+// differential guarantee of the parallel explainer (bit-identical ranked
+// explanations at every thread count), and AptIndexCache contention.
+// The TSan CI job runs this binary so data races fail the pipeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/explainer.h"
+#include "src/datasets/example_nba.h"
+#include "src/exec/join.h"
+#include "src/mining/apt.h"
+
+namespace cajade {
+namespace {
+
+// ---- WorkerPool -------------------------------------------------------------
+
+TEST(WorkerPoolTest, ParallelForVisitsEveryIndexOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ParallelForRunsConcurrently) {
+  WorkerPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  pool.ParallelFor(64, [&](size_t) {
+    int cur = in_flight.fetch_add(1) + 1;
+    int prev = max_in_flight.load();
+    while (cur > prev && !max_in_flight.compare_exchange_weak(prev, cur)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    in_flight.fetch_sub(1);
+  });
+  // On a single-core machine the scheduler may still serialize the sleeps,
+  // but the pool itself must have dispatched to multiple workers.
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(WorkerPoolTest, SubmitAndWaitDrainsAllTasks) {
+  WorkerPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(WorkerPoolTest, ResolveThreads) {
+  EXPECT_EQ(WorkerPool::ResolveThreads(1), 1u);
+  EXPECT_EQ(WorkerPool::ResolveThreads(7), 7u);
+  EXPECT_GE(WorkerPool::ResolveThreads(0), 1u);  // hardware concurrency
+}
+
+// ---- Parallel explainer determinism ----------------------------------------
+
+constexpr const char* kQ1 =
+    "SELECT winner AS team, season, count(*) AS win "
+    "FROM game g WHERE winner = 'GSW' GROUP BY winner, season";
+
+void ExpectIdenticalExplanations(const ExplainResult& serial,
+                                 const ExplainResult& parallel,
+                                 int num_threads) {
+  SCOPED_TRACE("num_threads=" + std::to_string(num_threads));
+  ASSERT_EQ(serial.explanations.size(), parallel.explanations.size());
+  EXPECT_EQ(serial.apts_mined, parallel.apts_mined);
+  EXPECT_EQ(serial.apts_skipped_oversize, parallel.apts_skipped_oversize);
+  EXPECT_EQ(serial.patterns_evaluated, parallel.patterns_evaluated);
+  EXPECT_EQ(serial.enumeration.valid, parallel.enumeration.valid);
+  for (size_t i = 0; i < serial.explanations.size(); ++i) {
+    SCOPED_TRACE("rank " + std::to_string(i));
+    const Explanation& a = serial.explanations[i];
+    const Explanation& b = parallel.explanations[i];
+    EXPECT_EQ(a.join_graph, b.join_graph);
+    EXPECT_EQ(a.join_conditions, b.join_conditions);
+    EXPECT_EQ(a.pattern, b.pattern);
+    EXPECT_EQ(a.primary, b.primary);
+    EXPECT_EQ(a.primary_tuple, b.primary_tuple);
+    // EXPECT_EQ on doubles is exact: the guarantee is bit-identical, not
+    // approximately equal.
+    EXPECT_EQ(a.precision, b.precision);
+    EXPECT_EQ(a.recall, b.recall);
+    EXPECT_EQ(a.fscore, b.fscore);
+    EXPECT_EQ(a.fscore_sampled, b.fscore_sampled);
+    EXPECT_EQ(a.support_primary, b.support_primary);
+    EXPECT_EQ(a.total_primary, b.total_primary);
+    EXPECT_EQ(a.support_other, b.support_other);
+    EXPECT_EQ(a.total_other, b.total_other);
+    EXPECT_EQ(a.pattern_size, b.pattern_size);
+  }
+}
+
+TEST(ParallelExplainerTest, ThreadCountsProduceIdenticalRankings) {
+  Database db = MakeExampleNbaDatabase().ValueOrDie();
+  SchemaGraph sg = MakeExampleNbaSchemaGraph(db).ValueOrDie();
+  UserQuestion q = UserQuestion::TwoPoint(Where({{"season", Value("2015-16")}}),
+                                          Where({{"season", Value("2012-13")}}));
+
+  Explainer serial_explainer(&db, &sg);
+  serial_explainer.mutable_config()->num_threads = 1;
+  ExplainResult serial = serial_explainer.Explain(kQ1, q).ValueOrDie();
+  ASSERT_FALSE(serial.explanations.empty());
+
+  for (int threads : {2, 4, 8}) {
+    Explainer explainer(&db, &sg);
+    explainer.mutable_config()->num_threads = threads;
+    ExplainResult parallel = explainer.Explain(kQ1, q).ValueOrDie();
+    ExpectIdenticalExplanations(serial, parallel, threads);
+  }
+}
+
+TEST(ParallelExplainerTest, HardwareConcurrencyKnobMatchesSerial) {
+  Database db = MakeExampleNbaDatabase().ValueOrDie();
+  SchemaGraph sg = MakeExampleNbaSchemaGraph(db).ValueOrDie();
+  UserQuestion q = UserQuestion::SinglePoint(Where({{"season", Value("2015-16")}}));
+
+  Explainer serial_explainer(&db, &sg);
+  ExplainResult serial = serial_explainer.Explain(kQ1, q).ValueOrDie();
+
+  Explainer explainer(&db, &sg);
+  explainer.mutable_config()->num_threads = 0;  // hardware concurrency
+  ExplainResult parallel = explainer.Explain(kQ1, q).ValueOrDie();
+  ExpectIdenticalExplanations(serial, parallel, 0);
+}
+
+// ---- AptIndexCache contention -----------------------------------------------
+
+Table MakeKeyedTable(const std::string& name, size_t rows, int64_t mod) {
+  Table t(name, Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}}));
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    (void)t.AppendRow({Value(static_cast<int64_t>(i % mod)),
+                       Value(static_cast<int64_t>(i))});
+  }
+  return t;
+}
+
+TEST(AptIndexCacheTest, ConcurrentGetsBuildEachIndexOnce) {
+  // 4 tables x 2 column sets = 8 distinct keys, hammered from 8 threads
+  // with overlapping request orders.
+  std::vector<Table> tables;
+  for (int t = 0; t < 4; ++t) {
+    tables.push_back(MakeKeyedTable("t" + std::to_string(t), 4096, 64));
+  }
+  const std::vector<std::vector<int>> col_sets = {{0}, {0, 1}};
+
+  AptIndexCache cache;
+  std::atomic<bool> failed{false};
+  std::vector<const AptIndexCache::Index*> first_seen(
+      tables.size() * col_sets.size(), nullptr);
+  std::mutex first_seen_mu;
+
+  auto worker = [&](int tid) {
+    for (int iter = 0; iter < 50; ++iter) {
+      for (size_t ti = 0; ti < tables.size(); ++ti) {
+        // Stagger request order per thread so builders and waiters overlap
+        // on different shards.
+        size_t t = (ti + static_cast<size_t>(tid)) % tables.size();
+        for (size_t ci = 0; ci < col_sets.size(); ++ci) {
+          const AptIndexCache::Index& idx = cache.Get(tables[t], col_sets[ci]);
+          if (idx.size() != tables[t].num_rows()) failed.store(true);
+          std::lock_guard<std::mutex> lock(first_seen_mu);
+          const AptIndexCache::Index*& slot =
+              first_seen[t * col_sets.size() + ci];
+          if (slot == nullptr) {
+            slot = &idx;
+          } else if (slot != &idx) {
+            failed.store(true);  // reference moved: entry not stable
+          }
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  // Every distinct (table, columns) key built exactly once despite 8
+  // threads racing to request it.
+  EXPECT_EQ(cache.num_builds(), tables.size() * col_sets.size());
+}
+
+TEST(AptIndexCacheTest, CachedIndexProbesCorrectly) {
+  Table t = MakeKeyedTable("probe", 1000, 10);  // 100 rows per key
+  AptIndexCache cache;
+  const AptIndexCache::Index& idx = cache.Get(t, {0});
+  EXPECT_EQ(idx.size(), 1000u);
+  EXPECT_EQ(idx.distinct_keys(), 10u);
+  size_t matches = 0;
+  idx.ForEach(HashRowKey(t, 7, {0}), [&](int64_t) { ++matches; });
+  EXPECT_EQ(matches, 100u);
+  // Second Get returns the same finalized index without rebuilding.
+  EXPECT_EQ(&cache.Get(t, {0}), &idx);
+  EXPECT_EQ(cache.num_builds(), 1u);
+}
+
+}  // namespace
+}  // namespace cajade

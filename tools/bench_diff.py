@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff a fresh bench_micro --json run against
+the committed baseline files (BENCH_join.json / BENCH_mining.json).
+
+Benchmarks are matched by exact name; a benchmark whose wall time grew by
+more than --threshold (default 0.25 = 25%) fails the gate. Names present
+only in the current run are listed as new; baseline rows the current run
+does not exercise are the normal case (the smoke run is a subset of the
+full suite), so they are summarized as a count rather than listed — but a
+fully disjoint name set still fails, and a renamed benchmark that empties
+the smoke filter is caught by bench_micro itself, which exits non-zero
+when --benchmark_filter selects nothing.
+
+A markdown table goes to --summary (e.g. $GITHUB_STEP_SUMMARY) when given,
+and always to stdout.
+
+Caveat: baselines are wall times from the machine that committed them, so
+the gate is only meaningful on comparable hardware (CI runners of one
+class). CAJADE_BENCH_DIFF_THRESHOLD overrides --threshold for a noisy
+runner pool without touching the workflow.
+
+Usage:
+  tools/bench_diff.py --current bench_smoke.json \
+      --baseline BENCH_join.json --baseline BENCH_mining.json \
+      [--threshold 0.25] [--summary "$GITHUB_STEP_SUMMARY"]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        out[row["name"]] = float(row["real_time_ns"])
+    return out
+
+
+def fmt_time(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="JSON from the fresh bench_micro run")
+    parser.add_argument("--baseline", action="append", required=True,
+                        help="committed baseline JSON (repeatable)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative wall-time growth")
+    parser.add_argument("--summary", default="",
+                        help="file to append the markdown table to")
+    args = parser.parse_args()
+
+    env_threshold = os.environ.get("CAJADE_BENCH_DIFF_THRESHOLD")
+    threshold = float(env_threshold) if env_threshold else args.threshold
+
+    baseline = {}
+    for path in args.baseline:
+        baseline.update(load_benchmarks(path))
+    current = load_benchmarks(args.current)
+
+    matched = sorted(set(baseline) & set(current))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    if not matched:
+        print("bench_diff: no benchmark names match between current run and "
+              "baselines — the gate has nothing to check", file=sys.stderr)
+        return 1
+
+    lines = ["| Benchmark | Baseline | Current | Ratio | Status |",
+             "| --- | --- | --- | --- | --- |"]
+    regressions = []
+    for name in matched:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        regressed = ratio > 1.0 + threshold
+        if regressed:
+            regressions.append(name)
+        status = "**REGRESSED**" if regressed else (
+            "improved" if ratio < 1.0 - threshold else "ok")
+        lines.append(f"| `{name}` | {fmt_time(baseline[name])} | "
+                     f"{fmt_time(current[name])} | {ratio:.2f}x | {status} |")
+    for name in only_current:
+        lines.append(f"| `{name}` | — | {fmt_time(current[name])} | — | "
+                     "new (no baseline) |")
+
+    verdict = (f"{len(regressions)} of {len(matched)} matched benchmarks "
+               f"regressed by more than {threshold:.0%}")
+    if only_baseline:
+        verdict += (f" ({len(only_baseline)} baseline rows not exercised "
+                    "by this run)")
+    table = "\n".join(["### Benchmark regression gate", "", *lines, "",
+                       verdict, ""])
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(table + "\n")
+
+    if regressions:
+        print("bench_diff: FAILED — " + ", ".join(regressions),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
