@@ -89,7 +89,7 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
   ProvenanceTable pt;
   {
     ScopedStep step(&out.profile, "Compute Provenance");
-    ASSIGN_OR_RETURN(pt, ComputeProvenance(*db_, query));
+    ASSIGN_OR_RETURN(pt, ComputeProvenance(executor_, query));
   }
   std::vector<int64_t> pt_rows;
   PtClasses classes;
@@ -267,7 +267,7 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
 Result<Apt> Explainer::BuildApt(const ParsedQuery& query,
                                 const UserQuestion& question,
                                 const JoinGraph& graph) const {
-  ASSIGN_OR_RETURN(ProvenanceTable pt, ComputeProvenance(*db_, query));
+  ASSIGN_OR_RETURN(ProvenanceTable pt, ComputeProvenance(executor_, query));
   std::vector<int64_t> pt_rows;
   PtClasses classes;
   std::string d1, d2;
@@ -279,7 +279,7 @@ Result<MineResult> Explainer::MineJoinGraph(const ParsedQuery& query,
                                             const UserQuestion& question,
                                             const JoinGraph& graph,
                                             StepProfiler* profiler) const {
-  ASSIGN_OR_RETURN(ProvenanceTable pt, ComputeProvenance(*db_, query));
+  ASSIGN_OR_RETURN(ProvenanceTable pt, ComputeProvenance(executor_, query));
   std::vector<int64_t> pt_rows;
   PtClasses classes;
   std::string d1, d2;

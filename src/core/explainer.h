@@ -115,6 +115,10 @@ class Explainer {
   const Database* db_;
   const SchemaGraph* schema_graph_;
   CajadeConfig config_;
+  /// One executor for every provenance computation this Explainer runs, so
+  /// the join planner's cached table statistics survive across queries
+  /// (a throwaway executor would rescan every base table per Explain call).
+  QueryExecutor executor_{db_};
 };
 
 /// Removes near-duplicate explanations: keeps the best-scoring instance of

@@ -7,6 +7,7 @@
 
 #include "src/common/string_util.h"
 #include "src/exec/evaluator.h"
+#include "src/exec/flat_hash.h"
 #include "src/exec/join.h"
 
 namespace cajade {
@@ -33,10 +34,10 @@ void CollectAliases(const Expr& e, std::set<int>* out) {
 
 /// An equality conjunct between two single columns of distinct aliases.
 struct EquiCond {
-  int alias_a;
-  int col_a;
-  int alias_b;
-  int col_b;
+  int alias_a = -1;
+  int col_a = -1;
+  int alias_b = -1;
+  int col_b = -1;
 };
 
 bool AsEquiCond(const Expr& e, EquiCond* out) {
@@ -53,6 +54,8 @@ bool AsEquiCond(const Expr& e, EquiCond* out) {
 }
 
 /// Hash of a multi-column key of base-table cells addressed via a tuple.
+/// Survives only in the ReferenceExecuteSpj oracle; the kernel-routed path
+/// hashes typed composite keys instead.
 struct TupleKeyHasher {
   uint64_t operator()(const std::vector<Value>& key) const {
     uint64_t h = 0x9876;
@@ -63,20 +66,33 @@ struct TupleKeyHasher {
   }
 };
 
-}  // namespace
+/// State shared by the kernel-routed executor and the reference oracle:
+/// everything up to (and after) the join loop is identical, only the join
+/// machinery differs.
+struct SpjState {
+  size_t n_aliases = 0;
+  std::vector<TablePtr> tables;
+  std::vector<ExprPtr> conjuncts;
+  std::vector<std::set<int>> conjunct_aliases;
+  std::vector<bool> consumed;
+  /// Base rows per alias surviving single-alias predicate pushdown.
+  std::vector<std::vector<int64_t>> selected;
+};
 
-Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
-  const size_t n_aliases = query.from.size();
-  if (n_aliases == 0) {
+/// Resolves base tables, binds WHERE conjuncts, and runs single-alias
+/// predicate pushdown.
+Status PrepareSpj(const Database* db, const ParsedQuery& query, SpjState* st) {
+  st->n_aliases = query.from.size();
+  if (st->n_aliases == 0) {
     return Status::InvalidArgument("query has no FROM clause");
   }
 
   // Resolve base tables and build the global binding scope.
-  std::vector<TablePtr> tables(n_aliases);
+  st->tables.resize(st->n_aliases);
   BindScope scope;
-  for (size_t i = 0; i < n_aliases; ++i) {
-    ASSIGN_OR_RETURN(tables[i], db_->GetTable(query.from[i].table_name));
-    const Schema& schema = tables[i]->schema();
+  for (size_t i = 0; i < st->n_aliases; ++i) {
+    ASSIGN_OR_RETURN(st->tables[i], db->GetTable(query.from[i].table_name));
+    const Schema& schema = st->tables[i]->schema();
     for (size_t c = 0; c < schema.num_columns(); ++c) {
       scope.AddColumn(query.from[i].alias, schema.column(c).name,
                       static_cast<int>(i), static_cast<int>(c));
@@ -84,32 +100,31 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
   }
 
   // Bind and classify WHERE conjuncts.
-  std::vector<ExprPtr> conjuncts;
-  SplitConjuncts(CloneExpr(query.where), &conjuncts);
-  std::vector<std::set<int>> conjunct_aliases(conjuncts.size());
-  for (size_t i = 0; i < conjuncts.size(); ++i) {
-    RETURN_NOT_OK(BindExpr(conjuncts[i].get(), scope));
-    CollectAliases(*conjuncts[i], &conjunct_aliases[i]);
+  SplitConjuncts(CloneExpr(query.where), &st->conjuncts);
+  st->conjunct_aliases.resize(st->conjuncts.size());
+  for (size_t i = 0; i < st->conjuncts.size(); ++i) {
+    RETURN_NOT_OK(BindExpr(st->conjuncts[i].get(), scope));
+    CollectAliases(*st->conjuncts[i], &st->conjunct_aliases[i]);
   }
 
   // Predicate pushdown: evaluate single-alias conjuncts on base tables.
-  std::vector<std::vector<int64_t>> selected(n_aliases);
-  std::vector<bool> consumed(conjuncts.size(), false);
-  for (size_t a = 0; a < n_aliases; ++a) {
+  st->selected.resize(st->n_aliases);
+  st->consumed.assign(st->conjuncts.size(), false);
+  for (size_t a = 0; a < st->n_aliases; ++a) {
     std::vector<const Expr*> local;
-    for (size_t i = 0; i < conjuncts.size(); ++i) {
-      if (conjunct_aliases[i].size() == 1 && *conjunct_aliases[i].begin() ==
-                                                 static_cast<int>(a)) {
-        local.push_back(conjuncts[i].get());
-        consumed[i] = true;
+    for (size_t i = 0; i < st->conjuncts.size(); ++i) {
+      if (st->conjunct_aliases[i].size() == 1 &&
+          *st->conjunct_aliases[i].begin() == static_cast<int>(a)) {
+        local.push_back(st->conjuncts[i].get());
+        st->consumed[i] = true;
       }
     }
-    const Table& t = *tables[a];
+    const Table& t = *st->tables[a];
     RowContext ctx;
-    ctx.tables.assign(n_aliases, nullptr);
-    ctx.rows.assign(n_aliases, 0);
+    ctx.tables.assign(st->n_aliases, nullptr);
+    ctx.rows.assign(st->n_aliases, 0);
     ctx.tables[a] = &t;
-    selected[a].reserve(t.num_rows());
+    st->selected[a].reserve(t.num_rows());
     for (size_t r = 0; r < t.num_rows(); ++r) {
       ctx.rows[a] = r;
       bool pass = true;
@@ -120,15 +135,165 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
           break;
         }
       }
-      if (pass) selected[a].push_back(static_cast<int64_t>(r));
+      if (pass) st->selected[a].push_back(static_cast<int64_t>(r));
+    }
+  }
+  return Status::OK();
+}
+
+/// Applies residual multi-alias conjuncts and materializes the working table
+/// (columns named "<alias>.<column>") plus per-alias source rows.
+Result<SpjOutput> FinishSpj(const ParsedQuery& query, const SpjState& st,
+                            const std::vector<int>& bound,
+                            const std::vector<std::vector<int64_t>>& tuple_cols) {
+  auto bound_pos = [&](int a) {
+    return static_cast<size_t>(std::find(bound.begin(), bound.end(), a) -
+                               bound.begin());
+  };
+
+  // Residual conjuncts over multiple aliases.
+  std::vector<const Expr*> residual;
+  for (size_t i = 0; i < st.conjuncts.size(); ++i) {
+    if (!st.consumed[i]) residual.push_back(st.conjuncts[i].get());
+  }
+  size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
+  std::vector<size_t> keep;
+  keep.reserve(n_tuples);
+  if (residual.empty()) {
+    keep.resize(n_tuples);
+    std::iota(keep.begin(), keep.end(), 0);
+  } else {
+    RowContext ctx;
+    ctx.tables.resize(st.n_aliases);
+    ctx.rows.resize(st.n_aliases);
+    for (size_t a = 0; a < st.n_aliases; ++a) ctx.tables[a] = st.tables[a].get();
+    for (size_t t = 0; t < n_tuples; ++t) {
+      for (size_t k = 0; k < bound.size(); ++k) {
+        ctx.rows[bound[k]] = static_cast<size_t>(tuple_cols[k][t]);
+      }
+      bool pass = true;
+      for (const Expr* e : residual) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
+        if (!IsTruthy(v)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) keep.push_back(t);
     }
   }
 
+  // Materialize the working table, columns named "<alias>.<column>".
+  SpjOutput out;
+  Schema working_schema;
+  for (size_t a = 0; a < st.n_aliases; ++a) {
+    out.aliases.push_back(query.from[a].alias);
+    out.relations.push_back(query.from[a].table_name);
+    for (const auto& col : st.tables[a]->schema().columns()) {
+      RETURN_NOT_OK(working_schema.AddColumn(query.from[a].alias + "." + col.name,
+                                             col.type));
+    }
+  }
+  Table working("working", std::move(working_schema));
+  working.Reserve(keep.size());
+  size_t out_col = 0;
+  for (size_t a = 0; a < st.n_aliases; ++a) {
+    size_t pos = bound_pos(static_cast<int>(a));
+    const std::vector<int64_t>& rows = tuple_cols[pos];
+    const Table& src = *st.tables[a];
+    for (size_t c = 0; c < src.num_columns(); ++c, ++out_col) {
+      const Column& sc = src.column(c);
+      Column& dc = working.column(out_col);
+      // Type dispatch per column, not per cell: the gather loops stay tight.
+      switch (sc.type()) {
+        case DataType::kInt64:
+          for (size_t t : keep) {
+            int64_t r = rows[t];
+            if (sc.IsNull(r)) {
+              dc.AppendNull();
+            } else {
+              dc.AppendInt(sc.GetInt(r));
+            }
+          }
+          break;
+        case DataType::kDouble:
+          for (size_t t : keep) {
+            int64_t r = rows[t];
+            if (sc.IsNull(r)) {
+              dc.AppendNull();
+            } else {
+              dc.AppendDouble(sc.GetDouble(r));
+            }
+          }
+          break;
+        case DataType::kString:
+          dc.AdoptDictionary(sc);
+          for (size_t t : keep) {
+            int64_t r = rows[t];
+            if (sc.IsNull(r)) {
+              dc.AppendNull();
+            } else {
+              dc.AppendCode(sc.GetCode(r));
+            }
+          }
+          break;
+        default:
+          for (size_t i = 0; i < keep.size(); ++i) dc.AppendNull();
+      }
+    }
+  }
+  working.SetRowCount(keep.size());
+  out.source_rows.resize(st.n_aliases);
+  for (size_t a = 0; a < st.n_aliases; ++a) {
+    size_t pos = bound_pos(static_cast<int>(a));
+    out.source_rows[a].reserve(keep.size());
+    for (size_t t : keep) out.source_rows[a].push_back(tuple_cols[pos][t]);
+  }
+  out.table = std::move(working);
+  return out;
+}
+
+/// Picks the smallest unbound relation for a cross-product step (no join
+/// predicate connects the remaining aliases to the bound set).
+size_t SmallestUnbound(const SpjState& st,
+                       const std::vector<int>& bound) {
+  auto is_bound = [&](int a) {
+    return std::find(bound.begin(), bound.end(), a) != bound.end();
+  };
+  size_t best = 0;
+  size_t best_size = SIZE_MAX;
+  for (size_t a = 0; a < st.n_aliases; ++a) {
+    if (!is_bound(static_cast<int>(a)) && st.selected[a].size() < best_size) {
+      best = a;
+      best_size = st.selected[a].size();
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const TableStats& QueryExecutor::Stats(const Table& table) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.Get(table);
+}
+
+const TableStats& QueryExecutor::StatsRanges(const Table& table) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.GetRanges(table);
+}
+
+Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
+  SpjState st;
+  RETURN_NOT_OK(PrepareSpj(db_, query, &st));
+
   // Join loop. Tuples are stored column-major: tuple_cols[k][t] is the base
-  // row id of bound alias k in tuple t.
+  // row id of bound alias k in tuple t. The probe side starts with the first
+  // FROM alias (keeping the seed's output grouping by first-alias order);
+  // each step binds one more alias as the build side of a typed hash join.
   std::vector<int> bound = {0};
   std::vector<std::vector<int64_t>> tuple_cols(1);
-  tuple_cols[0] = selected[0];
+  tuple_cols[0] = st.selected[0];
 
   auto is_bound = [&](int a) {
     return std::find(bound.begin(), bound.end(), a) != bound.end();
@@ -138,17 +303,158 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
                                bound.begin());
   };
 
-  while (bound.size() < n_aliases) {
+  while (bound.size() < st.n_aliases) {
+    // Greedy join ordering: among the unbound aliases connected to the bound
+    // set by equality conjuncts, build the smallest side first. Ties break
+    // toward the higher-distinct-count join key (lower expected fan-out),
+    // then FROM-clause order. Cardinality is the post-pushdown row count;
+    // ndv comes from the cached TableStats and is only computed when two
+    // candidates actually tie, so simple queries never pay the
+    // distinct-count scan.
+    struct JoinCandidate {
+      int alias;
+      std::vector<size_t> ids;  ///< connecting conjunct indexes
+    };
+    std::vector<JoinCandidate> tied;  // all at the minimum selected size
+    size_t best_size = SIZE_MAX;
+    for (size_t a = 0; a < st.n_aliases; ++a) {
+      if (is_bound(static_cast<int>(a))) continue;
+      std::vector<size_t> ids;
+      for (size_t i = 0; i < st.conjuncts.size(); ++i) {
+        if (st.consumed[i]) continue;
+        EquiCond ec;
+        if (!AsEquiCond(*st.conjuncts[i], &ec)) continue;
+        bool connects = (ec.alias_a == static_cast<int>(a) && is_bound(ec.alias_b)) ||
+                        (ec.alias_b == static_cast<int>(a) && is_bound(ec.alias_a));
+        if (connects) ids.push_back(i);
+      }
+      if (ids.empty()) continue;
+      const size_t size = st.selected[a].size();
+      if (size < best_size) {
+        best_size = size;
+        tied.clear();
+      }
+      if (size == best_size) {
+        tied.push_back({static_cast<int>(a), std::move(ids)});
+      }
+    }
+    int next = -1;
+    std::vector<size_t> join_conjunct_ids;
+    if (tied.size() == 1) {
+      next = tied[0].alias;
+      join_conjunct_ids = std::move(tied[0].ids);
+    } else if (!tied.empty()) {
+      size_t best_ndv = 0;
+      for (auto& cand : tied) {
+        size_t ndv = 1;
+        if (best_size > 0) {
+          const TableStats& ts = Stats(*st.tables[cand.alias]);
+          for (size_t i : cand.ids) {
+            EquiCond ec;
+            AsEquiCond(*st.conjuncts[i], &ec);
+            int col = ec.alias_a == cand.alias ? ec.col_a : ec.col_b;
+            if (static_cast<size_t>(col) < ts.columns.size()) {
+              ndv = std::max(ndv, ts.columns[col].ndv);
+            }
+          }
+        }
+        if (ndv > best_ndv) {
+          next = cand.alias;
+          join_conjunct_ids = std::move(cand.ids);
+          best_ndv = ndv;
+        }
+      }
+    }
+
+    if (next < 0) {
+      // Cross product with the smallest remaining relation.
+      size_t best = SmallestUnbound(st, bound);
+      size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
+      std::vector<std::vector<int64_t>> out(bound.size() + 1);
+      for (size_t t = 0; t < n_tuples; ++t) {
+        for (int64_t r : st.selected[best]) {
+          for (size_t k = 0; k < bound.size(); ++k) out[k].push_back(tuple_cols[k][t]);
+          out.back().push_back(r);
+        }
+      }
+      bound.push_back(static_cast<int>(best));
+      tuple_cols = std::move(out);
+      continue;
+    }
+
+    // Key columns: build side on the next alias, probe side addressed
+    // through the bound tuple columns (possibly spanning several aliases).
+    std::vector<int> next_keys;
+    std::vector<ProbeKeyCol> probe;
+    for (size_t i : join_conjunct_ids) {
+      EquiCond ec;
+      AsEquiCond(*st.conjuncts[i], &ec);
+      int probe_alias, probe_col;
+      if (ec.alias_a == next) {
+        next_keys.push_back(ec.col_a);
+        probe_alias = ec.alias_b;
+        probe_col = ec.col_b;
+      } else {
+        next_keys.push_back(ec.col_b);
+        probe_alias = ec.alias_a;
+        probe_col = ec.col_a;
+      }
+      probe.push_back({&st.tables[probe_alias]->column(probe_col),
+                       &tuple_cols[bound_pos(probe_alias)]});
+      st.consumed[i] = true;
+    }
+
+    // Typed kernel join: (tuple index, build row) matches in tuple order.
+    const Table& nt = *st.tables[next];
+    size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
+    auto matches = ProbeEquiJoin(nt, st.selected[next], next_keys, probe,
+                                 n_tuples, &StatsRanges(nt));
+
+    std::vector<std::vector<int64_t>> out(bound.size() + 1);
+    for (auto& col : out) col.reserve(matches.size());
+    for (const auto& [t, r] : matches) {
+      for (size_t k = 0; k < bound.size(); ++k) {
+        out[k].push_back(tuple_cols[k][static_cast<size_t>(t)]);
+      }
+      out.back().push_back(r);
+    }
+    bound.push_back(next);
+    tuple_cols = std::move(out);
+  }
+
+  return FinishSpj(query, st, bound, tuple_cols);
+}
+
+Result<SpjOutput> QueryExecutor::ReferenceExecuteSpj(
+    const ParsedQuery& query) const {
+  SpjState st;
+  RETURN_NOT_OK(PrepareSpj(db_, query, &st));
+
+  // The seed's join loop: first textually-connected alias next, per-row
+  // std::vector<Value> tuple keys into an unordered_multimap.
+  std::vector<int> bound = {0};
+  std::vector<std::vector<int64_t>> tuple_cols(1);
+  tuple_cols[0] = st.selected[0];
+
+  auto is_bound = [&](int a) {
+    return std::find(bound.begin(), bound.end(), a) != bound.end();
+  };
+  auto bound_pos = [&](int a) {
+    return static_cast<size_t>(std::find(bound.begin(), bound.end(), a) -
+                               bound.begin());
+  };
+
+  while (bound.size() < st.n_aliases) {
     // Find an unbound alias connected to the bound set by equality conjuncts.
     int next = -1;
     std::vector<size_t> join_conjunct_ids;
-    for (size_t a = 0; a < n_aliases && next < 0; ++a) {
+    for (size_t a = 0; a < st.n_aliases && next < 0; ++a) {
       if (is_bound(static_cast<int>(a))) continue;
       join_conjunct_ids.clear();
-      for (size_t i = 0; i < conjuncts.size(); ++i) {
-        if (consumed[i]) continue;
+      for (size_t i = 0; i < st.conjuncts.size(); ++i) {
+        if (st.consumed[i]) continue;
         EquiCond ec;
-        if (!AsEquiCond(*conjuncts[i], &ec)) continue;
+        if (!AsEquiCond(*st.conjuncts[i], &ec)) continue;
         bool connects = (ec.alias_a == static_cast<int>(a) && is_bound(ec.alias_b)) ||
                         (ec.alias_b == static_cast<int>(a) && is_bound(ec.alias_a));
         if (connects) join_conjunct_ids.push_back(i);
@@ -158,18 +464,11 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
 
     if (next < 0) {
       // Cross product with the smallest remaining relation.
-      size_t best = 0;
-      size_t best_size = SIZE_MAX;
-      for (size_t a = 0; a < n_aliases; ++a) {
-        if (!is_bound(static_cast<int>(a)) && selected[a].size() < best_size) {
-          best = a;
-          best_size = selected[a].size();
-        }
-      }
+      size_t best = SmallestUnbound(st, bound);
       size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
       std::vector<std::vector<int64_t>> out(bound.size() + 1);
       for (size_t t = 0; t < n_tuples; ++t) {
-        for (int64_t r : selected[best]) {
+        for (int64_t r : st.selected[best]) {
           for (size_t k = 0; k < bound.size(); ++k) out[k].push_back(tuple_cols[k][t]);
           out.back().push_back(r);
         }
@@ -184,7 +483,7 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
     std::vector<int> next_keys;
     for (size_t i : join_conjunct_ids) {
       EquiCond ec;
-      AsEquiCond(*conjuncts[i], &ec);
+      AsEquiCond(*st.conjuncts[i], &ec);
       if (ec.alias_a == next) {
         next_keys.push_back(ec.col_a);
         bound_keys.emplace_back(ec.alias_b, ec.col_b);
@@ -192,13 +491,13 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
         next_keys.push_back(ec.col_b);
         bound_keys.emplace_back(ec.alias_a, ec.col_a);
       }
-      consumed[i] = true;
+      st.consumed[i] = true;
     }
 
-    const Table& nt = *tables[next];
+    const Table& nt = *st.tables[next];
     std::unordered_multimap<std::vector<Value>, int64_t, TupleKeyHasher> build;
-    build.reserve(selected[next].size() * 2);
-    for (int64_t r : selected[next]) {
+    build.reserve(st.selected[next].size() * 2);
+    for (int64_t r : st.selected[next]) {
       std::vector<Value> key;
       key.reserve(next_keys.size());
       bool has_null = false;
@@ -220,7 +519,7 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
       bool has_null = false;
       for (size_t k = 0; k < bound_keys.size(); ++k) {
         auto [ba, bc] = bound_keys[k];
-        key[k] = tables[ba]->GetValue(tuple_cols[bound_pos(ba)][t], bc);
+        key[k] = st.tables[ba]->GetValue(tuple_cols[bound_pos(ba)][t], bc);
         if (key[k].is_null()) {
           has_null = true;
           break;
@@ -237,91 +536,7 @@ Result<SpjOutput> QueryExecutor::ExecuteSpj(const ParsedQuery& query) const {
     tuple_cols = std::move(out);
   }
 
-  // Residual conjuncts over multiple aliases.
-  std::vector<const Expr*> residual;
-  for (size_t i = 0; i < conjuncts.size(); ++i) {
-    if (!consumed[i]) residual.push_back(conjuncts[i].get());
-  }
-  size_t n_tuples = tuple_cols.empty() ? 0 : tuple_cols[0].size();
-  std::vector<size_t> keep;
-  keep.reserve(n_tuples);
-  if (residual.empty()) {
-    keep.resize(n_tuples);
-    std::iota(keep.begin(), keep.end(), 0);
-  } else {
-    RowContext ctx;
-    ctx.tables.resize(n_aliases);
-    ctx.rows.resize(n_aliases);
-    for (size_t a = 0; a < n_aliases; ++a) ctx.tables[a] = tables[a].get();
-    for (size_t t = 0; t < n_tuples; ++t) {
-      for (size_t k = 0; k < bound.size(); ++k) {
-        ctx.rows[bound[k]] = static_cast<size_t>(tuple_cols[k][t]);
-      }
-      bool pass = true;
-      for (const Expr* e : residual) {
-        ASSIGN_OR_RETURN(Value v, EvalExpr(*e, ctx));
-        if (!IsTruthy(v)) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) keep.push_back(t);
-    }
-  }
-
-  // Materialize the working table, columns named "<alias>.<column>".
-  SpjOutput out;
-  Schema working_schema;
-  for (size_t a = 0; a < n_aliases; ++a) {
-    out.aliases.push_back(query.from[a].alias);
-    out.relations.push_back(query.from[a].table_name);
-    for (const auto& col : tables[a]->schema().columns()) {
-      RETURN_NOT_OK(working_schema.AddColumn(query.from[a].alias + "." + col.name,
-                                             col.type));
-    }
-  }
-  Table working("working", std::move(working_schema));
-  working.Reserve(keep.size());
-  size_t out_col = 0;
-  for (size_t a = 0; a < n_aliases; ++a) {
-    size_t pos = bound_pos(static_cast<int>(a));
-    const std::vector<int64_t>& rows = tuple_cols[pos];
-    const Table& src = *tables[a];
-    for (size_t c = 0; c < src.num_columns(); ++c, ++out_col) {
-      const Column& sc = src.column(c);
-      Column& dc = working.column(out_col);
-      if (sc.type() == DataType::kString) dc.AdoptDictionary(sc);
-      for (size_t t : keep) {
-        int64_t r = rows[t];
-        if (sc.IsNull(r)) {
-          dc.AppendNull();
-        } else {
-          switch (sc.type()) {
-            case DataType::kInt64:
-              dc.AppendInt(sc.GetInt(r));
-              break;
-            case DataType::kDouble:
-              dc.AppendDouble(sc.GetDouble(r));
-              break;
-            case DataType::kString:
-              dc.AppendCode(sc.GetCode(r));
-              break;
-            default:
-              dc.AppendNull();
-          }
-        }
-      }
-    }
-  }
-  working.SetRowCount(keep.size());
-  out.source_rows.resize(n_aliases);
-  for (size_t a = 0; a < n_aliases; ++a) {
-    size_t pos = bound_pos(static_cast<int>(a));
-    out.source_rows[a].reserve(keep.size());
-    for (size_t t : keep) out.source_rows[a].push_back(tuple_cols[pos][t]);
-  }
-  out.table = std::move(working);
-  return out;
+  return FinishSpj(query, st, bound, tuple_cols);
 }
 
 namespace {
@@ -368,6 +583,87 @@ struct AggState {
     }
     return Value::Null();
   }
+};
+
+/// Group-key hash of one cell. Unlike the join kernels' HashKeyCell, group
+/// keys only ever compare cells of the SAME working-table column, so string
+/// cells hash by dictionary code — no per-row string materialization.
+inline uint64_t GroupCellHash(const Column& col, int64_t row) {
+  if (col.IsNull(row)) return 0xdeadULL;
+  switch (col.type()) {
+    case DataType::kInt64:
+      return SplitMix64(static_cast<uint64_t>(col.GetInt(row)));
+    case DataType::kString:
+      return SplitMix64(
+          static_cast<uint64_t>(static_cast<uint32_t>(col.GetCode(row))));
+    case DataType::kDouble: {
+      // GroupCellsEqual treats every NaN as equal, so all NaN payloads must
+      // hash alike (the canonical cell hash is per-bit-pattern).
+      const double d = col.GetDouble(row);
+      if (d != d) return 0xbadf00dULL;
+      return HashKeyCell(col, row);
+    }
+    default:
+      return HashKeyCell(col, row);
+  }
+}
+
+/// Group-key equality of two rows of one column: SQL GROUP BY semantics, so
+/// nulls form one group (unlike join keys, where null never matches) and
+/// NaNs group together (matching Value::Compare, where NaN orders equal).
+/// Both rows come from the same column, so string cells compare by
+/// dictionary code and numerics by native type — no Value materialization.
+inline bool GroupCellsEqual(const Column& col, int64_t a, int64_t b) {
+  const bool an = col.IsNull(a);
+  const bool bn = col.IsNull(b);
+  if (an || bn) return an && bn;
+  switch (col.type()) {
+    case DataType::kInt64:
+      return col.GetInt(a) == col.GetInt(b);
+    case DataType::kDouble: {
+      const double x = col.GetDouble(a);
+      const double y = col.GetDouble(b);
+      return x == y || (x != x && y != y);
+    }
+    case DataType::kString:
+      return col.GetCode(a) == col.GetCode(b);
+    default:
+      return true;
+  }
+}
+
+/// \brief Assigns group ids in first-seen row order.
+///
+/// Keys hash through the same canonical cell hashes as the join kernels into
+/// a FlatMultiMap of candidate group ids; equality is verified against each
+/// group's representative row (column-ref keys) or stored key values
+/// (computed keys), so hash collisions cannot merge groups. Replaces the
+/// seed's unordered_map<std::vector<Value>, ...> with its per-row key
+/// allocations.
+class GroupIndex {
+ public:
+  explicit GroupIndex(size_t expected_rows) { map_.Reserve(expected_rows); }
+
+  /// Group id of `hash` where `equals(existing_gid)` confirms the match;
+  /// assigns the next id when no candidate matches.
+  template <typename EqFn>
+  size_t GetOrAdd(uint64_t hash, EqFn&& equals) {
+    int64_t gid = -1;
+    map_.ForEach(hash, [&](int64_t g) {
+      if (gid < 0 && equals(static_cast<size_t>(g))) gid = g;
+    });
+    if (gid < 0) {
+      gid = static_cast<int64_t>(num_groups_++);
+      map_.Insert(hash, gid);
+    }
+    return static_cast<size_t>(gid);
+  }
+
+  size_t num_groups() const { return num_groups_; }
+
+ private:
+  FlatMultiMap map_;
+  size_t num_groups_ = 0;
 };
 
 }  // namespace
@@ -431,21 +727,59 @@ Result<QueryOutput> QueryExecutor::ExecuteWithProvenance(
     return out;
   }
 
-  // Group rows by the group-by key.
-  std::unordered_map<std::vector<Value>, size_t, TupleKeyHasher> group_ids;
+  // Partition rows by the group-by key, group ids in first-seen row order
+  // (and therefore deterministic result-row order). Plain column-ref keys —
+  // the common case — hash and compare directly on the working columns; only
+  // computed keys (e.g. GROUP BY x + 1) evaluate per-row Values.
   std::vector<std::vector<int64_t>> group_rows;
   RowContext ctx{{&working}, {0}};
-  for (size_t r = 0; r < working.num_rows(); ++r) {
-    ctx.rows[0] = r;
-    std::vector<Value> key;
-    key.reserve(group_by.size());
-    for (const auto& g : group_by) {
-      ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
-      key.push_back(std::move(v));
+  bool all_column_refs = true;
+  for (const auto& g : group_by) {
+    if (g->kind != ExprKind::kColumnRef) all_column_refs = false;
+  }
+  if (all_column_refs) {
+    std::vector<const Column*> gcols;
+    gcols.reserve(group_by.size());
+    for (const auto& g : group_by) gcols.push_back(&working.column(g->bound_index));
+    GroupIndex index(working.num_rows());
+    std::vector<int64_t> rep;  // first-seen representative row per group
+    for (size_t r = 0; r < working.num_rows(); ++r) {
+      uint64_t h = kRowKeyHashSeed;
+      for (const Column* c : gcols) {
+        h = CombineKeyHash(h, GroupCellHash(*c, static_cast<int64_t>(r)));
+      }
+      size_t gid = index.GetOrAdd(h, [&](size_t g) {
+        for (const Column* c : gcols) {
+          if (!GroupCellsEqual(*c, static_cast<int64_t>(r), rep[g])) return false;
+        }
+        return true;
+      });
+      if (gid == group_rows.size()) {
+        group_rows.emplace_back();
+        rep.push_back(static_cast<int64_t>(r));
+      }
+      group_rows[gid].push_back(static_cast<int64_t>(r));
     }
-    auto [it, inserted] = group_ids.emplace(std::move(key), group_rows.size());
-    if (inserted) group_rows.emplace_back();
-    group_rows[it->second].push_back(static_cast<int64_t>(r));
+  } else {
+    GroupIndex index(working.num_rows());
+    std::vector<std::vector<Value>> group_keys;
+    for (size_t r = 0; r < working.num_rows(); ++r) {
+      ctx.rows[0] = r;
+      std::vector<Value> key;
+      key.reserve(group_by.size());
+      for (const auto& g : group_by) {
+        ASSIGN_OR_RETURN(Value v, EvalExpr(*g, ctx));
+        key.push_back(std::move(v));
+      }
+      uint64_t h = kRowKeyHashSeed;
+      for (const Value& v : key) h = CombineKeyHash(h, v.Hash());
+      size_t gid = index.GetOrAdd(h, [&](size_t g) { return group_keys[g] == key; });
+      if (gid == group_rows.size()) {
+        group_rows.emplace_back();
+        group_keys.push_back(std::move(key));
+      }
+      group_rows[gid].push_back(static_cast<int64_t>(r));
+    }
   }
   if (group_by.empty() && group_rows.empty()) {
     // Aggregates without GROUP BY over an empty input: one empty group.

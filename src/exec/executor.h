@@ -1,19 +1,29 @@
 // Query execution for the single-block SPJA subset.
 //
-// Pipeline: per-relation predicate pushdown -> greedy hash equi-join ordering
-// -> residual filters -> working-table materialization -> hash group-by
-// aggregation. The working table (the pre-aggregation join result) and the
-// per-group row partitions are retained: they are exactly the
-// why-provenance the explanation engine needs (paper Definition 1).
+// Pipeline: per-relation predicate pushdown -> stats-driven greedy hash
+// equi-join ordering (smallest estimated build side first) -> typed join
+// kernels (ProbeEquiJoin: dense-counting / dictionary-code / packed
+// composite-key / hash+verify layouts over the flat open-addressing
+// multimap) -> residual filters -> working-table materialization -> typed
+// hash group-by aggregation with first-seen group order. The working table
+// (the pre-aggregation join result) and the per-group row partitions are
+// retained: they are exactly the why-provenance the explanation engine needs
+// (paper Definition 1).
+//
+// The seed's tuple-key implementation (per-row std::vector<Value> keys into
+// an unordered_multimap) survives as ReferenceExecuteSpj, the differential-
+// testing oracle and the BM_ExecuteSpjSeed baseline.
 
 #ifndef CAJADE_EXEC_EXECUTOR_H_
 #define CAJADE_EXEC_EXECUTOR_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/sql/expr.h"
+#include "src/stats/table_stats.h"
 #include "src/storage/database.h"
 
 namespace cajade {
@@ -47,6 +57,8 @@ class QueryExecutor {
  public:
   explicit QueryExecutor(const Database* db) : db_(db) {}
 
+  const Database* db() const { return db_; }
+
   /// Runs the query, returning only the answer table.
   Result<Table> Execute(const ParsedQuery& query) const;
 
@@ -54,10 +66,33 @@ class QueryExecutor {
   /// partitions (why-provenance).
   Result<QueryOutput> ExecuteWithProvenance(const ParsedQuery& query) const;
 
- private:
+  /// Runs the select-project-join block through the typed join kernels.
+  /// Working rows are emitted grouped by the first alias's selected rows in
+  /// order; join matches expand in build-side selection order.
   Result<SpjOutput> ExecuteSpj(const ParsedQuery& query) const;
 
+  /// Differential-testing oracle: the seed's tuple-key implementation
+  /// (std::vector<Value> keys hashed into an unordered_multimap, first
+  /// textually-connected join order). Produces the same working-row multiset
+  /// as ExecuteSpj; row order may differ when the planner reorders joins.
+  Result<SpjOutput> ReferenceExecuteSpj(const ParsedQuery& query) const;
+
+ private:
+  /// Cached full-table statistics (distinct counts included; computed on
+  /// first use, keyed by table name + row count). Tables must stay
+  /// unmodified while a query runs, and one executor serves one query
+  /// stream at a time — run concurrent query streams on separate executors.
+  const TableStats& Stats(const Table& table) const;
+
+  /// Range-only statistics (null counts, numeric min/max): a plain
+  /// sequential scan with no hashing, enough for the join kernels' layout
+  /// selection. The full distinct-count pass runs only when the planner
+  /// actually needs an ndv tie-break.
+  const TableStats& StatsRanges(const Table& table) const;
+
   const Database* db_;
+  mutable std::mutex stats_mu_;
+  mutable StatsCatalog stats_;
 };
 
 }  // namespace cajade

@@ -1,5 +1,23 @@
-// Reusable multi-column hash equi-join on row-id sets. Used by the query
-// executor and by augmented-provenance-table materialization.
+// Reusable multi-column hash equi-join kernels on row-id sets. Used by the
+// query executor and by augmented-provenance-table materialization.
+//
+// Two entry points share one engine:
+//  - HashEquiJoin: both sides are (table, row-id set) pairs.
+//  - ProbeEquiJoin: the probe side is a tuple stream whose key columns may
+//    live in different base tables (the executor's partial join result);
+//    matches come back as (probe index, build row) pairs.
+//
+// The engine picks a layout per join from the build side's column types and
+// (when provided) precomputed TableStats:
+//  - single INT64 key: raw-value offsets, dense counting layout when the key
+//    range is small, flat open-addressing table otherwise;
+//  - single STRING key: dictionary codes, the probe dictionary remapped into
+//    the build code space once;
+//  - multi-column INT64/STRING keys whose combined range fits 64 bits:
+//    packed composite keys (mixed-radix offsets), which stay injective so
+//    probes need no equality re-check;
+//  - everything else (DOUBLE or cross-type keys, oversized ranges): canonical
+//    row-key hashes into the flat table with per-entry verification.
 
 #ifndef CAJADE_EXEC_JOIN_H_
 #define CAJADE_EXEC_JOIN_H_
@@ -7,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/stats/table_stats.h"
 #include "src/storage/table.h"
 
 namespace cajade {
@@ -17,24 +36,42 @@ struct JoinKeySpec {
   std::vector<int> right_cols;
 };
 
+/// One probe-side key column: a base-table column plus the row-id stream
+/// addressing it. Streams of all key columns passed to one ProbeEquiJoin call
+/// must have identical length (one entry per probe tuple); distinct columns
+/// may draw rows from distinct streams (and distinct tables).
+struct ProbeKeyCol {
+  const Column* col;
+  const std::vector<int64_t>* rows;
+};
+
+/// \brief Joins a probe tuple stream against `build_rows` of `build`.
+///
+/// Emits (probe index, build row) pairs grouped by probe index in ascending
+/// order; within one probe tuple, build matches appear in `build_rows` order
+/// — downstream code relies on this stability. Null key values never match
+/// (SQL equi-join semantics, including null vs null, in every layout).
+/// Numeric keys compare exactly across INT64/DOUBLE without the 2^53
+/// double-precision collapse.
+///
+/// `build_stats` (statistics of the full `build` table) lets the planner
+/// size dense layouts and pack composite keys without rescanning the build
+/// rows; pass nullptr to fall back to a per-join key-range scan.
+std::vector<std::pair<int64_t, int64_t>> ProbeEquiJoin(
+    const Table& build, const std::vector<int64_t>& build_rows,
+    const std::vector<int>& build_cols, const std::vector<ProbeKeyCol>& probe,
+    size_t n_probe, const TableStats* build_stats = nullptr);
+
 /// \brief Joins `left_rows` x `right_rows` on the key spec.
 ///
 /// Output pairs are grouped by left row in the order of `left_rows` (probe
-/// side); within one left row, right matches appear in `right_rows` order —
-/// downstream code relies on this stability. Null key values never match
-/// (SQL equi-join semantics). Numeric keys compare exactly: INT64 keys match
-/// DOUBLE keys holding the same mathematical value, without the 2^53
-/// double-precision collapse (ints differing only beyond 2^53 stay
-/// distinct).
-///
-/// Internally dispatches to typed fast paths — single INT64 keys join on the
-/// raw values, single STRING keys on dictionary codes (the smaller
-/// dictionary is remapped once instead of hashing strings per row) — and
-/// falls back to a hash+verify loop on a flat open-addressing table for
-/// multi-column or mixed-type keys.
+/// side); within one left row, right matches appear in `right_rows` order.
+/// Same key semantics and layout selection as ProbeEquiJoin, of which this is
+/// a thin wrapper; `right_stats` describes the build (right) table.
 std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
     const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
-    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys);
+    const std::vector<int64_t>& right_rows, const JoinKeySpec& keys,
+    const TableStats* right_stats = nullptr);
 
 /// Differential-testing oracle: the seed's hash-build/probe-verify algorithm
 /// restated on std::unordered_map with per-key vectors so duplicate matches
@@ -45,6 +82,29 @@ std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
 std::vector<std::pair<int64_t, int64_t>> ReferenceHashEquiJoin(
     const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
     const std::vector<int64_t>& right_rows, const JoinKeySpec& keys);
+
+/// Seed value for folding per-cell hashes into a row-key hash.
+inline constexpr uint64_t kRowKeyHashSeed = 0x12345678;
+
+/// Order-dependent fold of a per-cell hash into a row-key hash; HashRowKey is
+/// exactly this fold of HashKeyCell over the key columns starting from
+/// kRowKeyHashSeed. Exposed so callers hashing keys assembled from columns of
+/// different tables (executor tuple keys, group-by keys) stay consistent with
+/// build-side HashRowKey hashes.
+inline uint64_t CombineKeyHash(uint64_t seed, uint64_t cell_hash) {
+  return seed ^ (cell_hash + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Canonical hash of one key cell: null hashes to a fixed sentinel, integral
+/// numeric values (from either physical type) hash as their int64, other
+/// doubles by bit pattern, strings by content. Consistent with KeyCellsEqual
+/// across INT64/DOUBLE while preserving full int64 precision.
+uint64_t HashKeyCell(const Column& col, int64_t row);
+
+/// Equi-join cell equality (null never equals anything, including null).
+/// Numeric comparisons are exact (INT64/INT64 compares integers; INT64 vs
+/// DOUBLE matches only when the double holds that exact integer).
+bool KeyCellsEqual(const Column& a, int64_t row_a, const Column& b, int64_t row_b);
 
 /// Combines per-column value hashes for `row` over `cols`; helper shared with
 /// APT index building and distinct-count statistics. Numeric cells hash a

@@ -70,6 +70,12 @@ std::vector<int> ProvenanceTable::AliasesOfRelation(
 Result<ProvenanceTable> ComputeProvenance(const Database& db,
                                           const ParsedQuery& query) {
   QueryExecutor executor(&db);
+  return ComputeProvenance(executor, query);
+}
+
+Result<ProvenanceTable> ComputeProvenance(const QueryExecutor& executor,
+                                          const ParsedQuery& query) {
+  const Database& db = *executor.db();
   ASSIGN_OR_RETURN(QueryOutput qout, executor.ExecuteWithProvenance(query));
 
   ProvenanceTable pt;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/exec/executor.h"
 #include "src/sql/expr.h"
 #include "src/storage/database.h"
 
@@ -62,8 +63,17 @@ struct ProvenanceTable {
   std::vector<int> AliasesOfRelation(const std::string& relation) const;
 };
 
-/// Executes `query` against `db` and assembles its provenance.
+/// Executes `query` against `db` and assembles its provenance. Constructs a
+/// throwaway QueryExecutor, so each call recomputes the planner's table
+/// statistics; callers issuing repeated queries should hold an executor and
+/// use the overload below.
 Result<ProvenanceTable> ComputeProvenance(const Database& db,
+                                          const ParsedQuery& query);
+
+/// Same, through a caller-owned executor whose cached table statistics (and
+/// any future executor state) survive across queries — the Explainer uses
+/// one executor for all its provenance computations.
+Result<ProvenanceTable> ComputeProvenance(const QueryExecutor& executor,
                                           const ParsedQuery& query);
 
 }  // namespace cajade

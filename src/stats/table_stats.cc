@@ -36,6 +36,7 @@ TableStats ComputeTableStats(const Table& table) {
     }
     std::unordered_set<int64_t> seen;  // bit patterns of the numeric value
     bool first = true;
+    const bool is_int = col.type() == DataType::kInt64;
     for (size_t r = 0; r < table.num_rows(); ++r) {
       if (col.IsNull(r)) {
         ++cs.null_count;
@@ -44,6 +45,13 @@ TableStats ComputeTableStats(const Table& table) {
       double v = col.GetNumeric(r);
       if (first || v < cs.min_value) cs.min_value = v;
       if (first || v > cs.max_value) cs.max_value = v;
+      if (is_int) {
+        // Exact range: the double widening above collapses beyond 2^53.
+        int64_t iv = col.GetInt(r);
+        if (first || iv < cs.int_min) cs.int_min = iv;
+        if (first || iv > cs.int_max) cs.int_max = iv;
+        cs.has_int_range = true;
+      }
       first = false;
       int64_t bits;
       static_assert(sizeof(bits) == sizeof(v));
@@ -51,6 +59,42 @@ TableStats ComputeTableStats(const Table& table) {
       seen.insert(bits);
     }
     cs.ndv = seen.size();
+  }
+  return stats;
+}
+
+TableStats ComputeTableRanges(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  stats.columns.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats& cs = stats.columns[c];
+    cs.numeric = IsNumeric(col.type());
+    if (!cs.numeric) {
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (col.IsNull(r)) ++cs.null_count;
+      }
+      continue;
+    }
+    const bool is_int = col.type() == DataType::kInt64;
+    bool first = true;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (col.IsNull(r)) {
+        ++cs.null_count;
+        continue;
+      }
+      double v = col.GetNumeric(r);
+      if (first || v < cs.min_value) cs.min_value = v;
+      if (first || v > cs.max_value) cs.max_value = v;
+      if (is_int) {
+        int64_t iv = col.GetInt(r);
+        if (first || iv < cs.int_min) cs.int_min = iv;
+        if (first || iv > cs.int_max) cs.int_max = iv;
+        cs.has_int_range = true;
+      }
+      first = false;
+    }
   }
   return stats;
 }
@@ -88,9 +132,24 @@ size_t StatsCatalog::CombinedNdvByName(const Table& table,
 const TableStats& StatsCatalog::Get(const Table& table) {
   auto it = cache_.find(table.name());
   if (it != cache_.end() && it->second.rows == table.num_rows()) {
+    if (it->second.full) return it->second.stats;
+    // Upgrade a range-only entry in place (same TableStats object, so
+    // previously returned references stay valid).
+    it->second.stats = ComputeTableStats(table);
+    it->second.full = true;
     return it->second.stats;
   }
-  Entry entry{table.num_rows(), ComputeTableStats(table)};
+  Entry entry{table.num_rows(), /*full=*/true, ComputeTableStats(table)};
+  auto [pos, _] = cache_.insert_or_assign(table.name(), std::move(entry));
+  return pos->second.stats;
+}
+
+const TableStats& StatsCatalog::GetRanges(const Table& table) {
+  auto it = cache_.find(table.name());
+  if (it != cache_.end() && it->second.rows == table.num_rows()) {
+    return it->second.stats;  // a full entry serves range queries too
+  }
+  Entry entry{table.num_rows(), /*full=*/false, ComputeTableRanges(table)};
   auto [pos, _] = cache_.insert_or_assign(table.name(), std::move(entry));
   return pos->second.stats;
 }

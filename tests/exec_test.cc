@@ -250,6 +250,118 @@ TEST(ExecutorTest, AmbiguousColumnFails) {
   EXPECT_FALSE(exec.Execute(q).ok());
 }
 
+TEST(ExecutorTest, NullJoinKeysNeverMatch) {
+  // NULL keys on both the build and probe side, single-column INT64 key:
+  // NULL never matches anything, including another NULL (SQL semantics the
+  // seed's tuple-key path enforced by dropping NULL keys on both sides).
+  Database db;
+  {
+    auto t = db.CreateTable("l", MakeSchema({{"k", DataType::kInt64},
+                                             {"tag", DataType::kString}}))
+                 .ValueOrDie();
+    t->AppendRow({Value(int64_t{1}), Value("l1")});
+    t->AppendRow({Value::Null(), Value("lnull")});
+    t->AppendRow({Value(int64_t{3}), Value("l3")});
+  }
+  {
+    auto t = db.CreateTable("r", MakeSchema({{"k", DataType::kInt64},
+                                             {"tag", DataType::kString}}))
+                 .ValueOrDie();
+    t->AppendRow({Value::Null(), Value("rnull")});
+    t->AppendRow({Value(int64_t{1}), Value("r1")});
+    t->AppendRow({Value::Null(), Value("rnull2")});
+  }
+  QueryExecutor exec(&db);
+  auto q = ParseQuery("SELECT count(*) AS n FROM l, r WHERE l.k = r.k")
+               .ValueOrDie();
+  Table result = exec.Execute(q).ValueOrDie();
+  EXPECT_EQ(result.GetValue(0, 0), Value(int64_t{1}));  // only l1-r1
+}
+
+TEST(ExecutorTest, NullInMiddleColumnOfMultiColumnKey) {
+  // Three-column composite key with a NULL in the middle column: the row
+  // must not match even though the first and last columns agree, and NULL
+  // vs NULL in that position must not match either.
+  Database db;
+  {
+    auto t = db.CreateTable("a", MakeSchema({{"x", DataType::kInt64},
+                                             {"y", DataType::kInt64},
+                                             {"z", DataType::kString}}))
+                 .ValueOrDie();
+    t->AppendRow({Value(int64_t{1}), Value(int64_t{10}), Value("p")});
+    t->AppendRow({Value(int64_t{2}), Value::Null(), Value("p")});
+    t->AppendRow({Value(int64_t{3}), Value(int64_t{30}), Value("q")});
+  }
+  {
+    auto t = db.CreateTable("b", MakeSchema({{"x", DataType::kInt64},
+                                             {"y", DataType::kInt64},
+                                             {"z", DataType::kString}}))
+                 .ValueOrDie();
+    t->AppendRow({Value(int64_t{1}), Value(int64_t{10}), Value("p")});  // match
+    t->AppendRow({Value(int64_t{2}), Value::Null(), Value("p")});      // NULL = NULL: no
+    t->AppendRow({Value(int64_t{3}), Value::Null(), Value("q")});      // NULL vs 30: no
+  }
+  QueryExecutor exec(&db);
+  auto q = ParseQuery(
+               "SELECT count(*) AS n FROM a, b "
+               "WHERE a.x = b.x AND a.y = b.y AND a.z = b.z")
+               .ValueOrDie();
+  Table result = exec.Execute(q).ValueOrDie();
+  EXPECT_EQ(result.GetValue(0, 0), Value(int64_t{1}));
+  // The typed path must agree with the tuple-key oracle.
+  QueryOutput out = exec.ExecuteWithProvenance(q).ValueOrDie();
+  SpjOutput ref = exec.ReferenceExecuteSpj(q).ValueOrDie();
+  EXPECT_EQ(out.spj.table.num_rows(), ref.table.num_rows());
+}
+
+TEST(ExecutorTest, GroupEmissionIsFirstSeenOrder) {
+  // Result rows must come out in first-seen order of the group key in the
+  // working table, not in hash-container order.
+  Database db;
+  {
+    auto t = db.CreateTable("ev", MakeSchema({{"cat", DataType::kString},
+                                              {"v", DataType::kInt64}}))
+                 .ValueOrDie();
+    const char* cats[] = {"delta", "alpha", "zeta", "alpha", "beta",
+                          "delta", "gamma", "beta", "epsilon"};
+    for (int i = 0; i < 9; ++i) {
+      t->AppendRow({Value(cats[i]), Value(static_cast<int64_t>(i))});
+    }
+  }
+  QueryExecutor exec(&db);
+  auto q = ParseQuery("SELECT cat, count(*) AS n FROM ev GROUP BY cat")
+               .ValueOrDie();
+  Table result = exec.Execute(q).ValueOrDie();
+  ASSERT_EQ(result.num_rows(), 6u);
+  const char* expected[] = {"delta", "alpha", "zeta", "beta", "gamma",
+                            "epsilon"};
+  for (size_t g = 0; g < 6; ++g) {
+    EXPECT_EQ(result.GetValue(g, 0), Value(expected[g])) << "group " << g;
+  }
+}
+
+TEST(ExecutorTest, NullsFormOneGroup) {
+  // GROUP BY semantics differ from join semantics: NULL keys group together.
+  Database db;
+  {
+    auto t = db.CreateTable("ev", MakeSchema({{"cat", DataType::kString},
+                                              {"v", DataType::kInt64}}))
+                 .ValueOrDie();
+    t->AppendRow({Value("a"), Value(int64_t{1})});
+    t->AppendRow({Value::Null(), Value(int64_t{2})});
+    t->AppendRow({Value("a"), Value(int64_t{3})});
+    t->AppendRow({Value::Null(), Value(int64_t{4})});
+  }
+  QueryExecutor exec(&db);
+  auto q = ParseQuery("SELECT cat, count(*) AS n FROM ev GROUP BY cat")
+               .ValueOrDie();
+  Table result = exec.Execute(q).ValueOrDie();
+  ASSERT_EQ(result.num_rows(), 2u);
+  EXPECT_EQ(result.GetValue(0, 1), Value(int64_t{2}));  // "a"
+  EXPECT_EQ(result.GetValue(1, 1), Value(int64_t{2}));  // NULL group
+  EXPECT_TRUE(result.GetValue(1, 0).is_null());
+}
+
 TEST(ExecutorTest, ThreeWayJoinChain) {
   Database db = MakeSalesDb();
   {

@@ -38,6 +38,32 @@ TEST(TableStatsTest, NdvNullsAndRanges) {
   EXPECT_EQ(stats.NdvOf(t, "missing"), 1u);  // conservative default
 }
 
+TEST(TableStatsTest, ExactInt64RangeBeyondDoublePrecision) {
+  // 2^53 and 2^53 + 1 collapse to the same double; the exact int range must
+  // keep them apart (the join planner packs keys from these bounds).
+  const int64_t big = int64_t{1} << 53;
+  Table t("t", Schema({{"i", DataType::kInt64}, {"d", DataType::kDouble}}));
+  (void)t.AppendRow({Value(big), Value(0.5)});
+  (void)t.AppendRow({Value(big + 1), Value(1.5)});
+  (void)t.AppendRow({Value(int64_t{-7}), Value::Null()});
+  TableStats stats = ComputeTableStats(t);
+  ASSERT_TRUE(stats.columns[0].has_int_range);
+  EXPECT_EQ(stats.columns[0].int_min, -7);
+  EXPECT_EQ(stats.columns[0].int_max, big + 1);
+  // DOUBLE columns carry no int range.
+  EXPECT_FALSE(stats.columns[1].has_int_range);
+}
+
+TEST(TableStatsTest, AllNullIntColumnHasNoRange) {
+  Table t("t", Schema({{"i", DataType::kInt64}}));
+  (void)t.AppendRow({Value::Null()});
+  (void)t.AppendRow({Value::Null()});
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_FALSE(stats.columns[0].has_int_range);
+  EXPECT_EQ(stats.columns[0].null_count, 2u);
+  EXPECT_EQ(stats.columns[0].ndv, 0u);
+}
+
 TEST(StatsCatalogTest, CachesByNameAndRowCount) {
   Table t = MakeStatsTable();
   StatsCatalog catalog;
@@ -48,6 +74,27 @@ TEST(StatsCatalogTest, CachesByNameAndRowCount) {
   (void)t.AppendRow({Value(int64_t{9}), Value(9.0), Value("z")});
   const TableStats& c = catalog.Get(t);
   EXPECT_EQ(c.num_rows, 5u);
+}
+
+TEST(StatsCatalogTest, RangeOnlyStatsAndUpgrade) {
+  Table t = MakeStatsTable();
+  StatsCatalog catalog;
+  const TableStats& ranges = catalog.GetRanges(t);
+  // Ranges carry min/max/nulls but no distinct counts.
+  EXPECT_DOUBLE_EQ(ranges.columns[0].min_value, 1.0);
+  EXPECT_DOUBLE_EQ(ranges.columns[0].max_value, 2.0);
+  ASSERT_TRUE(ranges.columns[0].has_int_range);
+  EXPECT_EQ(ranges.columns[0].int_min, 1);
+  EXPECT_EQ(ranges.columns[0].int_max, 2);
+  EXPECT_EQ(ranges.columns[0].null_count, 1u);
+  EXPECT_EQ(ranges.columns[0].ndv, 0u);
+  // A full Get() upgrades the cached entry in place: same object, distinct
+  // counts filled in, and range requests keep being served from it.
+  const TableStats& full = catalog.Get(t);
+  EXPECT_EQ(&full, &ranges);
+  EXPECT_EQ(full.columns[0].ndv, 2u);
+  EXPECT_EQ(&catalog.GetRanges(t), &full);
+  EXPECT_EQ(catalog.GetRanges(t).columns[0].ndv, 2u);
 }
 
 TEST(StatsCatalogTest, CombinedNdvExactForCorrelatedColumns) {

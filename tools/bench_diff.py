@@ -3,13 +3,23 @@
 the committed baseline files (BENCH_join.json / BENCH_mining.json).
 
 Benchmarks are matched by exact name; a benchmark whose wall time grew by
-more than --threshold (default 0.25 = 25%) fails the gate. Names present
-only in the current run are listed as new; baseline rows the current run
-does not exercise are the normal case (the smoke run is a subset of the
-full suite), so they are summarized as a count rather than listed — but a
-fully disjoint name set still fails, and a renamed benchmark that empties
-the smoke filter is caught by bench_micro itself, which exits non-zero
-when --benchmark_filter selects nothing.
+more than --threshold (default 0.25 = 25%) fails the gate.
+
+Name-set drift fails loudly rather than being absorbed:
+  * a benchmark in the current run with no baseline row fails (a new or
+    renamed benchmark must ship regenerated BENCH_*.json in the same PR);
+  * with --filter (the regex handed to --benchmark_filter), a baseline row
+    matching the filter but absent from the current run fails — the gate
+    would otherwise silently shrink when a benchmark is renamed or dropped.
+Baseline rows NOT matching the filter are the normal case (the smoke run is
+a subset of the full suite) and are summarized as a count. Without --filter
+they are tolerated the same way. A fully disjoint name set still fails, and
+an empty smoke selection is caught by bench_micro itself, which exits
+non-zero when --benchmark_filter selects nothing.
+
+A 0 ns baseline row (a corrupt or hand-edited baseline) never divides by
+zero: any measurable current time counts as infinite growth and fails; 0 vs
+0 passes.
 
 A markdown table goes to --summary (e.g. $GITHUB_STEP_SUMMARY) when given,
 and always to stdout.
@@ -22,12 +32,14 @@ runner pool without touching the workflow.
 Usage:
   tools/bench_diff.py --current bench_smoke.json \
       --baseline BENCH_join.json --baseline BENCH_mining.json \
+      [--filter 'HashEquiJoin/10000$|...'] \
       [--threshold 0.25] [--summary "$GITHUB_STEP_SUMMARY"]
 """
 
 import argparse
 import json
 import os
+import re
 import sys
 
 
@@ -56,6 +68,10 @@ def main():
                         help="JSON from the fresh bench_micro run")
     parser.add_argument("--baseline", action="append", required=True,
                         help="committed baseline JSON (repeatable)")
+    parser.add_argument("--filter", default="",
+                        help="regex passed to --benchmark_filter for the "
+                             "current run; baseline rows matching it must "
+                             "appear in the current run")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max allowed relative wall-time growth")
     parser.add_argument("--summary", default="",
@@ -78,27 +94,52 @@ def main():
               "baselines — the gate has nothing to check", file=sys.stderr)
         return 1
 
+    # Baseline rows the filtered smoke run was supposed to exercise but did
+    # not: a rename or removal that would otherwise shrink the gate silently.
+    missing_expected = []
+    if args.filter:
+        try:
+            pattern = re.compile(args.filter)
+        except re.error as e:
+            print(f"bench_diff: bad --filter regex: {e}", file=sys.stderr)
+            return 1
+        missing_expected = [n for n in only_baseline if pattern.search(n)]
+        only_baseline = [n for n in only_baseline if not pattern.search(n)]
+
     lines = ["| Benchmark | Baseline | Current | Ratio | Status |",
              "| --- | --- | --- | --- | --- |"]
     regressions = []
     for name in matched:
-        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        if baseline[name] > 0:
+            ratio = current[name] / baseline[name]
+            ratio_text = f"{ratio:.2f}x"
+        elif current[name] > 0:
+            # 0 ns baseline: any measurable time is infinite growth — and a
+            # baseline that claims 0 ns is corrupt either way.
+            ratio = float("inf")
+            ratio_text = "inf (0 ns baseline)"
+        else:
+            ratio = 1.0
+            ratio_text = "1.00x"
         regressed = ratio > 1.0 + threshold
         if regressed:
             regressions.append(name)
         status = "**REGRESSED**" if regressed else (
             "improved" if ratio < 1.0 - threshold else "ok")
         lines.append(f"| `{name}` | {fmt_time(baseline[name])} | "
-                     f"{fmt_time(current[name])} | {ratio:.2f}x | {status} |")
+                     f"{fmt_time(current[name])} | {ratio_text} | {status} |")
     for name in only_current:
         lines.append(f"| `{name}` | — | {fmt_time(current[name])} | — | "
-                     "new (no baseline) |")
+                     "**NO BASELINE** |")
+    for name in missing_expected:
+        lines.append(f"| `{name}` | {fmt_time(baseline[name])} | — | — | "
+                     "**MISSING FROM RUN** |")
 
     verdict = (f"{len(regressions)} of {len(matched)} matched benchmarks "
                f"regressed by more than {threshold:.0%}")
     if only_baseline:
-        verdict += (f" ({len(only_baseline)} baseline rows not exercised "
-                    "by this run)")
+        verdict += (f" ({len(only_baseline)} baseline rows outside this "
+                    "run's scope)")
     table = "\n".join(["### Benchmark regression gate", "", *lines, "",
                        verdict, ""])
     print(table)
@@ -106,11 +147,24 @@ def main():
         with open(args.summary, "a") as f:
             f.write(table + "\n")
 
+    failed = False
     if regressions:
-        print("bench_diff: FAILED — " + ", ".join(regressions),
+        print("bench_diff: FAILED — regressed: " + ", ".join(regressions),
               file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if only_current:
+        print("bench_diff: FAILED — no baseline row for: "
+              + ", ".join(only_current)
+              + " (regenerate BENCH_*.json via bench_micro --json)",
+              file=sys.stderr)
+        failed = True
+    if missing_expected:
+        print("bench_diff: FAILED — baseline benchmarks matching --filter "
+              "missing from the current run: " + ", ".join(missing_expected)
+              + " (renamed or dropped without updating the baselines?)",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
