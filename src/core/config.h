@@ -74,6 +74,17 @@ struct CajadeConfig {
   /// on graph index.
   int num_threads = 1;
 
+  // ---- APT prefix cache ----------------------------------------------------
+  /// Share intermediate APT join states across join graphs with a common
+  /// prefix (PT-A-B reuses PT-A-C's PT-A state). Purely a performance
+  /// knob: explanations are bit-identical with the cache on or off, at any
+  /// thread count.
+  bool enable_apt_prefix_cache = true;
+  /// Memory bound of the prefix cache in bytes (LRU-evicted above it). The
+  /// cache outlives a single Explain call, so this bounds resident state
+  /// across requests, not per call.
+  size_t apt_prefix_cache_bytes = size_t{256} << 20;  // 256 MiB
+
   // ---- Safety bounds (implementation guards, documented in DESIGN.md) -----
   /// Cap on refinement-pattern evaluations per APT.
   size_t refinement_budget = 20000;

@@ -107,7 +107,11 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
                   : config_.pk_check_strict  ? PkCheckMode::kAllAttrs
                                              : PkCheckMode::kAnyAttr;
   opts.include_pt_only = config_.include_pt_only_graph;
-  JoinGraphEnumerator enumerator(schema_graph_, db_, pt.relations, opts);
+  // The shared catalog: enumeration fills it (serially) for cost estimates;
+  // the parallel materialization below reads only its thread-safe
+  // SharedRanges tier, so kernel index builds never rescan key ranges.
+  JoinGraphEnumerator enumerator(schema_graph_, db_, pt.relations, opts,
+                                 &stats_);
 
   std::vector<JoinGraph> graphs;
   {
@@ -138,29 +142,39 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
     size_t patterns_evaluated = 0;
     bool mined = false;
     bool skipped_oversize = false;
+    /// Whether the graph's work actually ran (false when the abort flag
+    /// short-circuited it); the deterministic error pass below re-runs
+    /// skipped graphs it needs a verdict from.
+    bool ran = false;
     StepProfiler profile;
   };
   std::vector<GraphOutcome> outcomes(graphs.size());
   AptIndexCache index_cache;
+  AptMaterializeOptions apt_options = MakeAptOptions();
+  apt_options.index_cache = &index_cache;
+  apt_options.row_limit = config_.max_apt_rows;
+  if (apt_options.prefix_cache != nullptr) {
+    // One fingerprint for the whole fan-out: every graph shares this
+    // (pt, pt_rows) pair, so don't re-hash the row selection per graph.
+    apt_options.pt_fingerprint = AptPtFingerprint(pt, pt_rows);
+  }
   // A hard error on any graph stops work on graphs not yet started (the
-  // serial path's short-circuit); the merge reports the lowest-index
-  // *recorded* error. With a single failing graph — the realistic case —
-  // that is the same error at every thread count; if several graphs fail,
-  // which of their errors surfaces can depend on the schedule (a
-  // lower-index failure may be skipped after a higher-index one trips the
-  // abort flag). Any of them aborts the call either way.
+  // serial path's short-circuit). The merge below reports the error of the
+  // lowest-index graph that *fails when executed* — exactly what the serial
+  // path reports — re-running any lower-index graph the short-circuit
+  // skipped, so the surfaced error never depends on the schedule.
   std::atomic<bool> abort_remaining{false};
 
   auto process_graph_body = [&](size_t gi) {
     if (abort_remaining.load(std::memory_order_relaxed)) return;
     const JoinGraph& graph = graphs[gi];
     GraphOutcome& oc = outcomes[gi];
+    oc.ran = true;
     Apt apt;
     {
       ScopedStep step(&oc.profile, "Materialize APTs");
       Result<Apt> apt_result =
-          MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_,
-                         &index_cache, config_.max_apt_rows);
+          MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_, apt_options);
       if (!apt_result.ok()) {
         if (apt_result.status().code() == StatusCode::kOutOfRange) {
           // Cost-estimate miss: the APT blew past the hard cap.
@@ -236,10 +250,36 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
     pool.ParallelFor(graphs.size(), process_graph);
   }
 
+  // Deterministic error reporting: surface the error of the lowest-index
+  // graph that fails when executed, as the serial path would. With several
+  // failing graphs, the parallel schedule may have recorded a higher-index
+  // failure while the abort flag skipped a lower-index graph entirely — so
+  // re-run the skipped graphs below the lowest recorded failure, in order,
+  // until one fails. (Exceptional path: the re-runs only happen when the
+  // whole call is about to return an error anyway.)
+  size_t first_err = graphs.size();
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    if (!outcomes[gi].status.ok()) {
+      first_err = gi;
+      break;
+    }
+  }
+  if (first_err < graphs.size()) {
+    abort_remaining.store(false, std::memory_order_relaxed);
+    for (size_t gi = 0; gi < first_err; ++gi) {
+      if (outcomes[gi].ran) continue;
+      process_graph(gi);
+      if (!outcomes[gi].status.ok()) {
+        first_err = gi;
+        break;
+      }
+    }
+    return outcomes[first_err].status;
+  }
+
   // Deterministic merge in enumeration order: counters, step timings (the
   // profiler now accumulates summed worker time, which exceeds wall clock
-  // when threads > 1), and explanations. Errors surface lowest-graph-first
-  // so a failure is reported identically at any thread count.
+  // when threads > 1), and explanations.
   for (GraphOutcome& oc : outcomes) {
     RETURN_NOT_OK(oc.status);
     if (oc.skipped_oversize) ++out.apts_skipped_oversize;
@@ -264,6 +304,19 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
   return out;
 }
 
+AptMaterializeOptions Explainer::MakeAptOptions() const {
+  AptMaterializeOptions options;
+  options.stats = &stats_;
+  if (config_.enable_apt_prefix_cache) {
+    // Re-applied per call on purpose: mutable_config() may change the
+    // bound between calls, and this is where it takes effect (shrinking
+    // evicts immediately).
+    prefix_cache_.set_max_bytes(config_.apt_prefix_cache_bytes);
+    options.prefix_cache = &prefix_cache_;
+  }
+  return options;
+}
+
 Result<Apt> Explainer::BuildApt(const ParsedQuery& query,
                                 const UserQuestion& question,
                                 const JoinGraph& graph) const {
@@ -272,7 +325,8 @@ Result<Apt> Explainer::BuildApt(const ParsedQuery& query,
   PtClasses classes;
   std::string d1, d2;
   RETURN_NOT_OK(ResolveQuestion(pt, question, &pt_rows, &classes, &d1, &d2));
-  return MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_);
+  return MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_,
+                        MakeAptOptions());
 }
 
 Result<MineResult> Explainer::MineJoinGraph(const ParsedQuery& query,
@@ -289,8 +343,8 @@ Result<MineResult> Explainer::MineJoinGraph(const ParsedQuery& query,
   Apt apt;
   {
     ScopedStep step(prof, "Materialize APTs");
-    ASSIGN_OR_RETURN(apt,
-                     MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_));
+    ASSIGN_OR_RETURN(apt, MaterializeApt(pt, pt_rows, graph, *schema_graph_,
+                                         *db_, MakeAptOptions()));
   }
   PatternMiner miner(&config_, prof);
   Rng rng(config_.seed);

@@ -15,9 +15,11 @@
 #include "src/core/question.h"
 #include "src/graph/enumerator.h"
 #include "src/graph/schema_graph.h"
+#include "src/mining/apt.h"
 #include "src/mining/miner.h"
 #include "src/provenance/provenance.h"
 #include "src/sql/expr.h"
+#include "src/stats/table_stats.h"
 #include "src/storage/database.h"
 
 namespace cajade {
@@ -77,6 +79,15 @@ struct ExplainResult {
 /// materialized and mined concurrently on a WorkerPool; the ranked output
 /// is bit-identical to the serial path (per-graph RNG streams are assigned
 /// in enumeration order and the merge tie-breaks on graph index).
+///
+/// One Explainer serves one request stream at a time: Explain (and the
+/// other entry points) mutate shared per-instance state — the executor's
+/// and the enumeration stats catalogs' single-stream tiers — without
+/// locking, as the executor has documented since it became a member. Run
+/// concurrent requests on separate Explainers; the serving layer's
+/// per-request fan-in will do exactly that (the APT caches it needs to
+/// share — AptIndexCache, AptPrefixCache, StatsCatalog::SharedRanges — are
+/// the concurrency-safe pieces already).
 class Explainer {
  public:
   Explainer(const Database* db, const SchemaGraph* schema_graph,
@@ -112,6 +123,10 @@ class Explainer {
                          std::vector<int64_t>* pt_rows, PtClasses* classes,
                          std::string* t1_desc, std::string* t2_desc) const;
 
+  /// Materialization options wired to this Explainer's shared stats catalog
+  /// and (when enabled) prefix cache.
+  AptMaterializeOptions MakeAptOptions() const;
+
   const Database* db_;
   const SchemaGraph* schema_graph_;
   CajadeConfig config_;
@@ -119,6 +134,15 @@ class Explainer {
   /// the join planner's cached table statistics survive across queries
   /// (a throwaway executor would rescan every base table per Explain call).
   QueryExecutor executor_{db_};
+  /// One statistics catalog shared between join-graph enumeration (cost
+  /// estimates, serial phase, single-stream methods) and APT
+  /// materialization (parallel phase, thread-safe SharedRanges tier only),
+  /// surviving across Explain calls like the executor's.
+  mutable StatsCatalog stats_;
+  /// Intermediate APT join states shared across join graphs — and across
+  /// Explain calls — keyed by graph prefix, LRU-bounded by
+  /// CajadeConfig::apt_prefix_cache_bytes.
+  mutable AptPrefixCache prefix_cache_{config_.apt_prefix_cache_bytes};
 };
 
 /// Removes near-duplicate explanations: keeps the best-scoring instance of

@@ -37,14 +37,6 @@ inline uint64_t HashDoubleCanonical(double d) {
   return SplitMix64(bits);
 }
 
-/// Whether any key column of `row` is null.
-inline bool HasNullKey(const Table& t, int64_t row, const std::vector<int>& cols) {
-  for (int c : cols) {
-    if (t.column(c).IsNull(row)) return true;
-  }
-  return false;
-}
-
 using PairVec = std::vector<std::pair<int64_t, int64_t>>;
 
 // How many keys ahead the build/probe loops prefetch home slots.
@@ -614,6 +606,340 @@ std::vector<std::pair<int64_t, int64_t>> HashEquiJoin(
                   out.emplace_back(left_rows[t], r);
                 });
   return out;
+}
+
+// ---- JoinBuildIndex ---------------------------------------------------------
+
+/// Resolved probe-side access for one key column of one Probe() call. The
+/// typed plan is build-only, so how a probe column feeds the packed key —
+/// direct int, integral-double, shared dictionary codes, or a per-call
+/// remap into the build code space — is decided here, per call.
+struct JoinBuildIndex::ProbeColView {
+  enum class Mode { kInt, kIntFromDouble, kCode, kCodeRemap };
+  Mode mode = Mode::kInt;
+  const Column* col = nullptr;
+  const std::vector<int64_t>* rows = nullptr;
+  /// kCodeRemap: probe dictionary code -> build code, -1 = value absent
+  /// from the build dictionary (such probe cells can never match).
+  std::vector<int32_t> remap;
+};
+
+JoinBuildIndex::JoinBuildIndex(const Table& build, std::vector<int> build_cols,
+                               const TableStats* build_stats)
+    : build_(&build), cols_(std::move(build_cols)) {
+  const size_t n = build.num_rows();
+  const size_t k = cols_.size();
+  if (n == 0 || k == 0) return;  // kEmpty
+  // Stale statistics (row count or arity drift) are worse than none.
+  if (build_stats != nullptr &&
+      (build_stats->num_rows != n ||
+       build_stats->columns.size() != build.num_columns())) {
+    build_stats = nullptr;
+  }
+
+  // Typed plan from the build side alone: INT64 offsets from the build
+  // minimum, STRING columns keyed by the build dictionary.
+  bool typed = true;
+  bool range_known = true;
+  plans_.assign(k, ColPlan{});
+  unsigned __int128 total = 1;
+  for (size_t i = 0; i < k && typed; ++i) {
+    const Column& bc = build.column(cols_[i]);
+    ColPlan& p = plans_[i];
+    if (bc.type() == DataType::kInt64) {
+      bool have_range = false;
+      if (build_stats != nullptr) {
+        const ColumnStats& cs = build_stats->columns[cols_[i]];
+        if (cs.has_int_range) {
+          p.min = cs.int_min;
+          p.max = cs.int_max;
+          have_range = true;
+        } else if (cs.null_count == n) {
+          return;  // every key cell null: nothing indexable (kEmpty)
+        }
+      }
+      if (!have_range) {
+        bool any = false;
+        int64_t mn = 0, mx = 0;
+        for (size_t r = 0; r < n; ++r) {
+          if (bc.IsNull(r)) continue;
+          int64_t v = bc.GetInt(r);
+          if (!any) {
+            mn = mx = v;
+            any = true;
+          } else {
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+          }
+        }
+        if (!any) return;  // kEmpty
+        p.min = mn;
+        p.max = mx;
+      }
+      // Unsigned width so full-span columns wrap to 0 (= 2^64) instead of
+      // overflowing.
+      p.range = static_cast<uint64_t>(p.max) - static_cast<uint64_t>(p.min) + 1;
+      if (p.range == 0) {
+        if (k != 1) {
+          typed = false;  // cannot pack a full-span column with others
+        } else {
+          range_known = false;
+        }
+      }
+    } else if (bc.type() == DataType::kString) {
+      p.dict = true;
+      const size_t key_space = bc.dict_size();
+      if (key_space == 0) return;  // no string ever interned: all null (kEmpty)
+      p.min = 0;
+      p.max = static_cast<int64_t>(key_space) - 1;
+      p.range = key_space;
+    } else {
+      typed = false;  // DOUBLE keys: canonical hash+verify path
+    }
+    if (typed && range_known) {
+      total *= p.range;
+      if (total > static_cast<unsigned __int128>(UINT64_MAX)) typed = false;
+    }
+  }
+
+  if (typed) {
+    uint64_t stride = 1;
+    for (size_t i = 0; i < k; ++i) {
+      plans_[i].stride = stride;
+      stride *= plans_[i].range;  // harmless wrap on the last column
+    }
+    if (range_known) total_range_ = static_cast<uint64_t>(total);
+
+    auto build_key = [&](size_t r, uint64_t* key) {
+      uint64_t packed = 0;
+      for (size_t i = 0; i < k; ++i) {
+        const Column& bc = build.column(cols_[i]);
+        if (bc.IsNull(r)) return false;  // null keys are never indexed
+        const ColPlan& p = plans_[i];
+        const uint64_t off =
+            p.dict ? static_cast<uint64_t>(static_cast<uint32_t>(bc.GetCode(r)))
+                   : static_cast<uint64_t>(bc.GetInt(r)) -
+                         static_cast<uint64_t>(p.min);
+        packed += off * p.stride;
+      }
+      *key = packed;
+      return true;
+    };
+
+    if (range_known && DenseWorthwhile(total_range_, n)) {
+      layout_ = Layout::kDense;
+      dense_offsets_.assign(total_range_ + 1, 0);
+      size_t kept = 0;
+      for (size_t r = 0; r < n; ++r) {
+        uint64_t key;
+        if (!build_key(r, &key)) continue;
+        ++dense_offsets_[static_cast<size_t>(key) + 1];
+        ++kept;
+      }
+      for (size_t v = 1; v <= total_range_; ++v) {
+        dense_offsets_[v] += dense_offsets_[v - 1];
+      }
+      dense_rows_.resize(kept);
+      std::vector<int32_t> cursor(dense_offsets_.begin(),
+                                  dense_offsets_.end() - 1);
+      for (size_t r = 0; r < n; ++r) {
+        uint64_t key;
+        if (!build_key(r, &key)) continue;
+        dense_rows_[cursor[static_cast<size_t>(key)]++] =
+            static_cast<int64_t>(r);
+      }
+      size_ = kept;
+      return;
+    }
+
+    layout_ = Layout::kTyped;
+    std::vector<uint64_t> keys(n);
+    std::vector<uint8_t> valid(n);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t key;
+      valid[r] = build_key(r, &key) ? 1 : 0;
+      if (valid[r]) keys[r] = SplitMix64(key);
+    }
+    flat_.Reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (r + kPrefetchDistance < n && valid[r + kPrefetchDistance]) {
+        flat_.Prefetch(keys[r + kPrefetchDistance]);
+      }
+      if (valid[r]) {
+        flat_.Insert(keys[r], static_cast<int64_t>(r));
+        ++size_;
+      }
+    }
+    flat_.Finalize();
+    return;
+  }
+
+  layout_ = Layout::kGeneric;
+  std::vector<uint64_t> hashes(n);
+  std::vector<uint8_t> valid(n);
+  for (size_t r = 0; r < n; ++r) {
+    const auto row = static_cast<int64_t>(r);
+    valid[r] = HasNullKey(build, row, cols_) ? 0 : 1;
+    if (valid[r]) hashes[r] = HashRowKey(build, row, cols_);
+  }
+  flat_.Reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (r + kPrefetchDistance < n && valid[r + kPrefetchDistance]) {
+      flat_.Prefetch(hashes[r + kPrefetchDistance]);
+    }
+    if (valid[r]) {
+      flat_.Insert(hashes[r], static_cast<int64_t>(r));
+      ++size_;
+    }
+  }
+  flat_.Finalize();
+}
+
+template <typename Fn>
+void JoinBuildIndex::ForEachMatch(uint64_t packed, Fn&& fn) const {
+  if (layout_ == Layout::kDense) {
+    const int32_t begin = dense_offsets_[static_cast<size_t>(packed)];
+    const int32_t end = dense_offsets_[static_cast<size_t>(packed) + 1];
+    for (int32_t i = begin; i < end; ++i) fn(dense_rows_[i]);
+  } else {
+    flat_.ForEach(SplitMix64(packed), fn);
+  }
+}
+
+bool JoinBuildIndex::Probe(const std::vector<ProbeKeyCol>& probe, size_t n_probe,
+                           size_t max_matches, PairVec* out) const {
+  if (n_probe == 0 || layout_ == Layout::kEmpty || size_ == 0) return true;
+  const size_t k = cols_.size();
+
+  if (layout_ == Layout::kGeneric) {
+    std::vector<uint64_t> ph(n_probe);
+    std::vector<uint8_t> pvalid(n_probe);
+    for (size_t t = 0; t < n_probe; ++t) {
+      uint64_t h = kRowKeyHashSeed;
+      bool ok = true;
+      for (size_t i = 0; i < k; ++i) {
+        const int64_t row = (*probe[i].rows)[t];
+        if (probe[i].col->IsNull(row)) {
+          ok = false;  // null probe keys never match
+          break;
+        }
+        h = CombineKeyHash(h, HashKeyCell(*probe[i].col, row));
+      }
+      pvalid[t] = ok ? 1 : 0;
+      if (ok) ph[t] = h;
+    }
+    for (size_t t = 0; t < n_probe; ++t) {
+      if (t + kPrefetchDistance < n_probe && pvalid[t + kPrefetchDistance]) {
+        flat_.Prefetch(ph[t + kPrefetchDistance]);
+      }
+      if (!pvalid[t]) continue;
+      flat_.ForEach(ph[t], [&](int64_t r) {
+        for (size_t i = 0; i < k; ++i) {
+          if (!KeyCellsEqual(*probe[i].col, (*probe[i].rows)[t],
+                             build_->column(cols_[i]), r)) {
+            return;
+          }
+        }
+        out->emplace_back(static_cast<int64_t>(t), r);
+      });
+      if (max_matches > 0 && out->size() > max_matches) return false;
+    }
+    return true;
+  }
+
+  // Typed layouts: resolve how each probe column feeds the packed key.
+  std::vector<ProbeColView> views(k);
+  for (size_t i = 0; i < k; ++i) {
+    const Column& pc = *probe[i].col;
+    ProbeColView& v = views[i];
+    v.col = &pc;
+    v.rows = probe[i].rows;
+    if (plans_[i].dict) {
+      if (pc.type() != DataType::kString) return true;  // can never match
+      const Column& bc = build_->column(cols_[i]);
+      if (&pc == &bc) {
+        v.mode = ProbeColView::Mode::kCode;  // shared code space (self join)
+      } else {
+        v.mode = ProbeColView::Mode::kCodeRemap;
+        v.remap.resize(pc.dict_size());
+        for (size_t c = 0; c < v.remap.size(); ++c) {
+          v.remap[c] = bc.FindCode(pc.DictEntry(static_cast<int32_t>(c)));
+        }
+      }
+    } else {
+      if (pc.type() == DataType::kInt64) {
+        v.mode = ProbeColView::Mode::kInt;
+      } else if (pc.type() == DataType::kDouble) {
+        // Exact cross-type join: an integral double equals the int it holds.
+        v.mode = ProbeColView::Mode::kIntFromDouble;
+      } else {
+        return true;  // STRING probe against an INT64 key: can never match
+      }
+    }
+  }
+
+  auto probe_key = [&](size_t t, uint64_t* key) {
+    uint64_t packed = 0;
+    for (size_t i = 0; i < k; ++i) {
+      const ProbeColView& v = views[i];
+      const ColPlan& p = plans_[i];
+      const int64_t row = (*v.rows)[t];
+      if (v.col->IsNull(row)) return false;  // null probe keys never match
+      uint64_t off = 0;
+      switch (v.mode) {
+        case ProbeColView::Mode::kInt: {
+          const int64_t x = v.col->GetInt(row);
+          if (x < p.min || x > p.max) return false;
+          off = static_cast<uint64_t>(x) - static_cast<uint64_t>(p.min);
+          break;
+        }
+        case ProbeColView::Mode::kIntFromDouble: {
+          const double d = v.col->GetDouble(row);
+          if (!(d >= kInt64Lo && d < kInt64Hi && d == std::floor(d))) {
+            return false;  // non-integral double never equals an int64
+          }
+          const int64_t x = static_cast<int64_t>(d);
+          if (x < p.min || x > p.max) return false;
+          off = static_cast<uint64_t>(x) - static_cast<uint64_t>(p.min);
+          break;
+        }
+        case ProbeColView::Mode::kCode:
+          off = static_cast<uint64_t>(
+              static_cast<uint32_t>(v.col->GetCode(row)));
+          break;
+        case ProbeColView::Mode::kCodeRemap: {
+          const int32_t code = v.remap[v.col->GetCode(row)];
+          if (code < 0) return false;  // value absent from the build space
+          off = static_cast<uint64_t>(static_cast<uint32_t>(code));
+          break;
+        }
+      }
+      packed += off * p.stride;
+    }
+    *key = packed;
+    return true;
+  };
+
+  std::vector<uint64_t> pkeys(n_probe);
+  std::vector<uint8_t> pvalid(n_probe);
+  for (size_t t = 0; t < n_probe; ++t) {
+    uint64_t key;
+    pvalid[t] = probe_key(t, &key) ? 1 : 0;
+    if (pvalid[t]) pkeys[t] = key;
+  }
+  const bool dense = layout_ == Layout::kDense;
+  for (size_t t = 0; t < n_probe; ++t) {
+    if (!dense && t + kPrefetchDistance < n_probe &&
+        pvalid[t + kPrefetchDistance]) {
+      flat_.Prefetch(SplitMix64(pkeys[t + kPrefetchDistance]));
+    }
+    if (!pvalid[t]) continue;
+    ForEachMatch(pkeys[t], [&](int64_t r) {
+      out->emplace_back(static_cast<int64_t>(t), r);
+    });
+    if (max_matches > 0 && out->size() > max_matches) return false;
+  }
+  return true;
 }
 
 std::vector<std::pair<int64_t, int64_t>> ReferenceHashEquiJoin(

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/flat_hash.h"
 #include "src/stats/table_stats.h"
 #include "src/storage/table.h"
 
@@ -117,6 +118,98 @@ uint64_t HashRowKey(const Table& table, int64_t row, const std::vector<int>& col
 /// DOUBLE matches only when the double holds that exact integer).
 bool RowKeysEqual(const Table& a, int64_t row_a, const std::vector<int>& cols_a,
                   const Table& b, int64_t row_b, const std::vector<int>& cols_b);
+
+/// Whether any key column of `row` is null. Callers enforcing SQL equi-join
+/// semantics (null never matches, including null vs null) use this as the
+/// explicit guard instead of relying on hash/equality internals to reject
+/// null cells.
+inline bool HasNullKey(const Table& t, int64_t row, const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (t.column(c).IsNull(row)) return true;
+  }
+  return false;
+}
+
+/// \brief A reusable build-side equi-join index over all rows of one table.
+///
+/// ProbeEquiJoin plans its key layout per call from both sides, so a cached
+/// build side cannot survive across probes. This class plans from the build
+/// side alone — INT64 columns encode as value offsets from the build minimum
+/// (sized from `build_stats` when given, one sequential range scan
+/// otherwise), STRING columns as the build dictionary's codes — and resolves
+/// the probe side per Probe() call (probe dictionaries remap into the build
+/// code space, integral DOUBLE probe values match INT64 keys exactly).
+/// Layouts mirror ProbeEquiJoin: dense counting when the packed key range is
+/// small, flat open-addressing on the SplitMix64-finalized packed key (a
+/// bijection, so typed probes skip verification), and canonical
+/// hash+verify for DOUBLE or oversized keys.
+///
+/// Semantics match ProbeEquiJoin exactly: null keys never match (including
+/// null vs null, and middle columns of composite keys) in every layout —
+/// enforced by explicit null checks in each key extractor, never by hash
+/// sentinel behavior — and matches per probe tuple come back in ascending
+/// build-row order. Cross-type probes that can never match (e.g. a STRING
+/// probe against an INT64 build key) produce no pairs.
+///
+/// The index holds a pointer to `build`, which must outlive it. Instances
+/// are immutable after construction and safe for concurrent Probe() calls.
+class JoinBuildIndex {
+ public:
+  /// Indexes all rows of `build` on `build_cols`. `build_stats` (statistics
+  /// of the full table, the range tier suffices) lets planning skip the
+  /// per-column key-range scan; stale stats (row-count or arity drift) are
+  /// ignored.
+  JoinBuildIndex(const Table& build, std::vector<int> build_cols,
+                 const TableStats* build_stats = nullptr);
+
+  /// Joins a probe tuple stream (see ProbeKeyCol; one entry per key column,
+  /// `probe.size() == build_cols.size()`) against the indexed rows,
+  /// appending (probe index, build row) pairs to `*out` grouped by probe
+  /// index in ascending order. Returns false — stopping early — as soon as
+  /// `out->size()` exceeds `max_matches` (0 = unlimited), checked after
+  /// each probe tuple.
+  bool Probe(const std::vector<ProbeKeyCol>& probe, size_t n_probe,
+             size_t max_matches,
+             std::vector<std::pair<int64_t, int64_t>>* out) const;
+
+  /// Rows indexed (rows with a null key cell are excluded at build time).
+  size_t size() const { return size_; }
+
+  const std::vector<int>& columns() const { return cols_; }
+
+ private:
+  enum class Layout {
+    kEmpty,    ///< no indexable rows (all-null key column / empty dictionary)
+    kDense,    ///< counting-sort groups over the packed key range
+    kTyped,    ///< flat table on SplitMix64(packed key), injective
+    kGeneric,  ///< flat table on HashRowKey, probe verifies equality
+  };
+
+  /// Per-column codec of the typed packed key (INT64 offsets / build codes).
+  struct ColPlan {
+    bool dict = false;
+    int64_t min = 0;   ///< int columns: build-side key range
+    int64_t max = -1;
+    uint64_t range = 0;  ///< per-column key-space size; 0 means 2^64
+    uint64_t stride = 1;
+  };
+
+  /// Resolved probe-side access for one key column of one Probe() call.
+  struct ProbeColView;
+
+  template <typename Fn>
+  void ForEachMatch(uint64_t packed, Fn&& fn) const;
+
+  const Table* build_;
+  std::vector<int> cols_;
+  Layout layout_ = Layout::kEmpty;
+  std::vector<ColPlan> plans_;
+  uint64_t total_range_ = 0;  ///< dense layout: packed key space size
+  std::vector<int32_t> dense_offsets_;
+  std::vector<int64_t> dense_rows_;
+  FlatMultiMap flat_;
+  size_t size_ = 0;
+};
 
 }  // namespace cajade
 

@@ -146,7 +146,7 @@ bool JoinGraphEnumerator::IsValid(const JoinGraph& g, double pt_rows,
     return false;
   }
   if (options_.check_cost) {
-    double cost = EstimateAptCost(g, *schema_graph_, *db_, &stats_catalog_,
+    double cost = EstimateAptCost(g, *schema_graph_, *db_, stats_catalog(),
                                   pt_rows, pt_columns);
     if (cost > options_.cost_threshold) {
       ++stats_.pruned_cost;

@@ -50,12 +50,26 @@ class JoinGraphEnumerator {
     bool include_pt_only = true;   ///< also mine Omega_0 (provenance only)
   };
 
+  /// `shared_stats` (optional) replaces the enumerator's own StatsCatalog,
+  /// so cost-estimate statistics computed during enumeration are reusable by
+  /// the caller afterwards — the Explainer shares one catalog between
+  /// enumeration and APT materialization. The enumerator only ever calls it
+  /// from the (serial) Enumerate pass; concurrent phases must restrict
+  /// themselves to the catalog's thread-safe SharedRanges tier.
   JoinGraphEnumerator(const SchemaGraph* schema_graph, const Database* db,
-                      std::vector<std::string> query_relations, Options options)
+                      std::vector<std::string> query_relations, Options options,
+                      StatsCatalog* shared_stats = nullptr)
       : schema_graph_(schema_graph),
         db_(db),
         query_relations_(std::move(query_relations)),
-        options_(options) {}
+        options_(options),
+        external_stats_(shared_stats) {}
+
+  /// The catalog cost estimation reads: the shared one when given, the
+  /// enumerator's own otherwise.
+  StatsCatalog* stats_catalog() {
+    return external_stats_ != nullptr ? external_stats_ : &stats_catalog_;
+  }
 
   /// Runs the enumeration. `mine` is invoked for every valid join graph;
   /// `pt_rows`/`pt_columns` parameterize the cost estimate.
@@ -89,6 +103,7 @@ class JoinGraphEnumerator {
   Options options_;
   EnumeratorStats stats_;
   StatsCatalog stats_catalog_;
+  StatsCatalog* external_stats_ = nullptr;
 };
 
 }  // namespace cajade

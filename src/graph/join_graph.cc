@@ -73,6 +73,76 @@ std::string JoinGraph::DescribeEdges(const SchemaGraph& sg) const {
   return Join(parts, " ");
 }
 
+Result<AptPlan> PlanAptSteps(const JoinGraph& graph) {
+  AptPlan plan;
+  plan.joined.assign(graph.nodes().size(), false);
+  plan.joined[0] = true;  // node 0 is the PT node
+  std::vector<bool> edge_done(graph.edges().size(), false);
+  // Mirrors the materializer's original loop exactly: repeated passes over
+  // the edge list in declaration order, taking every edge with a joined
+  // endpoint, with tree edges extending the frontier mid-pass.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t ei = 0; ei < graph.edges().size(); ++ei) {
+      if (edge_done[ei]) continue;
+      const JoinGraphEdge& e = graph.edges()[ei];
+      const bool a_in = plan.joined[e.node_a];
+      const bool b_in = plan.joined[e.node_b];
+      if (!a_in && !b_in) continue;
+      edge_done[ei] = true;
+      progress = true;
+      AptStep step;
+      step.edge = static_cast<int>(ei);
+      if (a_in && b_in) {
+        step.cycle = true;
+      } else {
+        step.in_node = a_in ? e.node_a : e.node_b;
+        step.new_node = a_in ? e.node_b : e.node_a;
+        if (graph.nodes()[step.new_node].is_pt) {
+          return Status::Internal("PT node cannot be re-joined");
+        }
+        plan.joined[step.new_node] = true;
+      }
+      plan.steps.push_back(step);
+    }
+  }
+  return plan;
+}
+
+std::string AptStepSignature(const JoinGraph& graph, const SchemaGraph& sg,
+                             const AptStep& step) {
+  const JoinGraphEdge& e = graph.edges()[step.edge];
+  const SchemaEdge& se = sg.edges()[e.schema_edge];
+  const JoinConditionDef& cond = se.conditions[e.condition];
+  std::string sig;
+  if (step.cycle) {
+    sig = Format("C%d:%d", e.node_a, e.node_b);
+    for (const auto& p : cond.pairs) {
+      const std::string& attr_a = e.a_plays_left ? p.left : p.right;
+      const std::string& attr_b = e.a_plays_left ? p.right : p.left;
+      sig += Format(";%s=%s", attr_a.c_str(), attr_b.c_str());
+    }
+  } else {
+    // Both relation and label: the label carries the #k occurrence suffix
+    // that names the joined-in columns, and it depends on *other* nodes of
+    // the graph — two graphs may agree on (node index, relation) for every
+    // leading step yet label them apart.
+    sig = Format("T%d:%d=%s/%s", step.in_node, step.new_node,
+                 graph.nodes()[step.new_node].relation.c_str(),
+                 graph.nodes()[step.new_node].label.c_str());
+    const bool in_is_left = (step.in_node == e.node_a) == e.a_plays_left;
+    for (const auto& p : cond.pairs) {
+      const std::string& in_attr = in_is_left ? p.left : p.right;
+      const std::string& new_attr = in_is_left ? p.right : p.left;
+      sig += Format(";%s=%s", in_attr.c_str(), new_attr.c_str());
+    }
+  }
+  // The PT binding changes which PT columns the condition resolves to.
+  sig += Format("@%s", e.pt_relation.c_str());
+  return sig;
+}
+
 std::string JoinGraph::CanonicalKey() const {
   // Initial labels: PT marker or relation name.
   std::vector<std::string> labels(nodes_.size());

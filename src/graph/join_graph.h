@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/graph/schema_graph.h"
 
 namespace cajade {
@@ -67,6 +68,44 @@ class JoinGraph {
   std::vector<JoinGraphNode> nodes_;
   std::vector<JoinGraphEdge> edges_;
 };
+
+/// One APT materialization step: either a tree edge that joins `new_node`
+/// into the partial result through `in_node`, or (both endpoints already
+/// joined) a cycle-closing edge applied as a post-join filter.
+struct AptStep {
+  int edge = -1;  ///< index into JoinGraph::edges()
+  bool cycle = false;
+  int in_node = -1;   ///< tree edges: the endpoint already joined
+  int new_node = -1;  ///< tree edges: the endpoint being joined in
+};
+
+/// \brief The deterministic step order of APT materialization.
+struct AptPlan {
+  std::vector<AptStep> steps;
+  /// Node coverage after all steps; materialization rejects disconnected
+  /// graphs (some node never joined).
+  std::vector<bool> joined;
+};
+
+/// Orders `graph`'s edges into materialization steps: breadth-first from the
+/// PT node, scanning edges in declaration order and taking every edge with at
+/// least one joined endpoint per pass. This is the single source of the step
+/// order — the kernel-backed materializer, its scalar reference, and the
+/// prefix-cache keys all derive from it, which is what makes cached prefix
+/// states interchangeable with freshly built ones. Fails on a graph whose
+/// tree edge would re-join the PT node.
+Result<AptPlan> PlanAptSteps(const JoinGraph& graph);
+
+/// Canonical signature of one materialization step, built from the
+/// schema-level identity of the join (relation names, condition attribute
+/// pairs in materialization orientation, PT-binding relation) plus the
+/// node indexes it touches. Two join graphs whose leading steps share
+/// signatures materialize identical intermediate states, so the
+/// concatenation of leading signatures keys the APT prefix cache. Schema
+/// content (not edge indexes) goes into the string, so signatures survive
+/// schema-graph reindexing.
+std::string AptStepSignature(const JoinGraph& graph, const SchemaGraph& sg,
+                             const AptStep& step);
 
 }  // namespace cajade
 

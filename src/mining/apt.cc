@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "src/common/string_util.h"
-#include "src/exec/join.h"
 
 namespace cajade {
 
@@ -56,8 +56,253 @@ Result<int> ResolvePtColumn(const ProvenanceTable& pt, const std::string& relati
 
 }  // namespace
 
+// Hashes the PT's shape (schema, relations, group-by attributes), its cell
+// contents (ContentFingerprint — one cached pass per PT, so two queries
+// whose provenance merely agrees on shape and row count do not alias each
+// other's states), and the selected row ids — everything the initial state
+// and the mining-exclusion flags of later states depend on. The raw
+// row/column/selection counts ride along next to the hash, leaving the
+// 64-bit fold as the only lossy component: a false hit then needs two
+// same-shape, same-selection PTs whose contents collide in 64 bits among
+// the cache's LRU-bounded live keys (hundreds, not 2^32 — vanishing by
+// construction, unlike an unbounded accumulation). Like the caches
+// themselves, this assumes an immutable database.
+std::string AptPtFingerprint(const ProvenanceTable& pt,
+                             const std::vector<int64_t>& pt_rows) {
+  uint64_t h = kRowKeyHashSeed;
+  auto mix = [&h](uint64_t v) { h = CombineKeyHash(h, SplitMix64(v)); };
+  auto mix_str = [&](const std::string& s) {
+    mix(std::hash<std::string>{}(s));
+  };
+  mix(pt.ContentFingerprint());
+  mix(pt.table.num_rows());
+  mix(pt.table.num_columns());
+  for (const auto& c : pt.table.schema().columns()) {
+    mix_str(c.name);
+    mix(static_cast<uint64_t>(c.type));
+    mix(c.mining_excluded ? 1 : 0);
+  }
+  for (const auto& rel : pt.relations) mix_str(rel);
+  for (int c : pt.group_by_pt_cols) mix(static_cast<uint64_t>(c));
+  for (const auto& [rel, attr] : pt.group_by_source_attrs) {
+    mix_str(rel);
+    mix_str(attr);
+  }
+  mix(pt_rows.size());
+  for (int64_t r : pt_rows) mix(static_cast<uint64_t>(r));
+  return Format("pt%016llx:%zux%zu:%zu", static_cast<unsigned long long>(h),
+                pt.table.num_rows(), pt.table.num_columns(), pt_rows.size());
+}
+
+namespace {
+
+/// The initial state: PT restricted to the requested rows.
+Result<AptJoinState> BuildBaseState(const ProvenanceTable& pt,
+                                    const std::vector<int64_t>& pt_rows) {
+  AptJoinState state;
+  Schema cur_schema;
+  for (const auto& c : pt.table.schema().columns()) {
+    RETURN_NOT_OK(cur_schema.AddColumn(c.name, c.type, c.mining_excluded));
+  }
+  std::vector<Column> cur_cols;
+  cur_cols.reserve(pt.table.num_columns());
+  for (size_t c = 0; c < pt.table.num_columns(); ++c) {
+    cur_cols.push_back(CopyColumnSubset(pt.table.column(c), pt_rows));
+  }
+  state.table = Table("APT", std::move(cur_schema), std::move(cur_cols),
+                      pt_rows.size());
+  state.pt_row.resize(pt_rows.size());
+  std::iota(state.pt_row.begin(), state.pt_row.end(), 0);
+  return state;
+}
+
+/// Everything one materialization step needs besides its input state.
+/// `node_offset` holds the first column of every already-joined context
+/// node, maintained by the main loop as steps are applied or skipped via
+/// the prefix cache.
+struct StepContext {
+  const ProvenanceTable* pt;
+  const JoinGraph* graph;
+  const SchemaGraph* schema_graph;
+  const Database* db;
+  AptIndexCache* index_cache;
+  StatsCatalog* stats;  // nullable
+  size_t row_limit;
+  const std::vector<int>* node_offset;
+};
+
+Result<int> ResolveSide(const StepContext& ctx, int node,
+                        const std::string& pt_rel, const std::string& attr) {
+  if (ctx.graph->nodes()[node].is_pt) {
+    return ResolvePtColumn(*ctx.pt, pt_rel, attr);
+  }
+  ASSIGN_OR_RETURN(TablePtr base,
+                   ctx.db->GetTable(ctx.graph->nodes()[node].relation));
+  int c = base->schema().FindColumn(attr);
+  if (c < 0) {
+    return Status::BindError(
+        Format("relation '%s' has no attribute '%s'",
+               ctx.graph->nodes()[node].relation.c_str(), attr.c_str()));
+  }
+  return (*ctx.node_offset)[node] + c;
+}
+
+/// Applies one materialization step to `in`, producing the next state.
+/// Tree edges run through the typed kernel index (cached across graphs);
+/// cycle edges filter rows whose two sides agree. Null join keys never
+/// match in either case — the guard is explicit here (and in every
+/// JoinBuildIndex layout), not delegated to hash or equality internals.
+Result<AptJoinState> ApplyAptStep(const AptJoinState& in, const AptStep& step,
+                                  const StepContext& ctx) {
+  const JoinGraphEdge& e = ctx.graph->edges()[step.edge];
+  const SchemaEdge& se = ctx.schema_graph->edges()[e.schema_edge];
+  const JoinConditionDef& cond = se.conditions[e.condition];
+  const Table& cur = in.table;
+
+  if (step.cycle) {
+    // Cycle-closing edge: filter rows where both sides agree.
+    std::vector<int> cols_a, cols_b;
+    for (const auto& p : cond.pairs) {
+      const std::string& attr_a = e.a_plays_left ? p.left : p.right;
+      const std::string& attr_b = e.a_plays_left ? p.right : p.left;
+      ASSIGN_OR_RETURN(int ca, ResolveSide(ctx, e.node_a, e.pt_relation, attr_a));
+      ASSIGN_OR_RETURN(int cb, ResolveSide(ctx, e.node_b, e.pt_relation, attr_b));
+      cols_a.push_back(ca);
+      cols_b.push_back(cb);
+    }
+    std::vector<int64_t> keep;
+    for (size_t r = 0; r < cur.num_rows(); ++r) {
+      const auto row = static_cast<int64_t>(r);
+      // NULL never survives a cycle edge — including NULL = NULL — matching
+      // the executor's equi-join contract.
+      if (HasNullKey(cur, row, cols_a) || HasNullKey(cur, row, cols_b)) {
+        continue;
+      }
+      if (RowKeysEqual(cur, row, cols_a, cur, row, cols_b)) {
+        keep.push_back(row);
+      }
+    }
+    AptJoinState next;
+    std::vector<Column> next_cols;
+    next_cols.reserve(cur.num_columns());
+    Schema next_schema;
+    for (size_t c = 0; c < cur.num_columns(); ++c) {
+      RETURN_NOT_OK(next_schema.AddColumn(cur.schema().column(c).name,
+                                          cur.schema().column(c).type,
+                                          cur.schema().column(c).mining_excluded));
+      next_cols.push_back(CopyColumnSubset(cur.column(c), keep));
+    }
+    next.pt_row.reserve(keep.size());
+    for (int64_t r : keep) next.pt_row.push_back(in.pt_row[r]);
+    next.table = Table("APT", std::move(next_schema), std::move(next_cols),
+                       keep.size());
+    return next;
+  }
+
+  // Tree edge: join in the new relation.
+  const JoinGraphNode& nn = ctx.graph->nodes()[step.new_node];
+  ASSIGN_OR_RETURN(TablePtr base, ctx.db->GetTable(nn.relation));
+
+  const bool in_is_left = (step.in_node == e.node_a) == e.a_plays_left;
+  JoinKeySpec keys;
+  for (const auto& p : cond.pairs) {
+    const std::string& in_attr = in_is_left ? p.left : p.right;
+    const std::string& new_attr = in_is_left ? p.right : p.left;
+    ASSIGN_OR_RETURN(int ci, ResolveSide(ctx, step.in_node, e.pt_relation, in_attr));
+    int cn = base->schema().FindColumn(new_attr);
+    if (cn < 0) {
+      return Status::BindError(Format("relation '%s' has no attribute '%s'",
+                                      nn.relation.c_str(), new_attr.c_str()));
+    }
+    keys.left_cols.push_back(ci);
+    keys.right_cols.push_back(cn);
+  }
+
+  // Probe the cached typed index on the context relation with the current
+  // state's rows, preserving state row order. The StatsCatalog range tier
+  // sizes the index build; it never changes probe results.
+  std::shared_ptr<const TableStats> stats_hold;
+  const TableStats* base_stats = nullptr;
+  if (ctx.stats != nullptr) {
+    stats_hold = ctx.stats->SharedRanges(*base);
+    base_stats = stats_hold.get();
+  }
+  const AptIndexCache::Index& index =
+      ctx.index_cache->Get(*base, keys.right_cols, base_stats);
+
+  std::vector<int64_t> probe_rows(cur.num_rows());
+  std::iota(probe_rows.begin(), probe_rows.end(), 0);
+  std::vector<ProbeKeyCol> probe;
+  probe.reserve(keys.left_cols.size());
+  for (int ci : keys.left_cols) probe.push_back({&cur.column(ci), &probe_rows});
+
+  std::vector<std::pair<int64_t, int64_t>> matches;
+  matches.reserve(cur.num_rows());
+  if (!index.Probe(probe, cur.num_rows(), ctx.row_limit, &matches)) {
+    return Status::OutOfRange(
+        Format("APT exceeds row limit %zu for join graph %s", ctx.row_limit,
+               ctx.graph->Describe().c_str()));
+  }
+
+  Schema next_schema;
+  for (const auto& c : cur.schema().columns()) {
+    RETURN_NOT_OK(next_schema.AddColumn(c.name, c.type, c.mining_excluded));
+  }
+  for (const auto& c : base->schema().columns()) {
+    // A context copy of a query relation re-exposes the group-by
+    // attributes (e.g. game.season when grouping by season); the paper's
+    // Section 2.5 exclusion applies to them as well.
+    bool excluded = c.mining_excluded;
+    for (const auto& [rel, attr] : ctx.pt->group_by_source_attrs) {
+      if (rel == nn.relation && attr == c.name) excluded = true;
+    }
+    RETURN_NOT_OK(next_schema.AddColumn(nn.label + "." + c.name, c.type,
+                                        excluded));
+  }
+
+  std::vector<int64_t> lrows, rrows;
+  lrows.reserve(matches.size());
+  rrows.reserve(matches.size());
+  for (const auto& [l, r] : matches) {
+    lrows.push_back(l);
+    rrows.push_back(r);
+  }
+  AptJoinState next;
+  std::vector<Column> next_cols;
+  next_cols.reserve(next_schema.num_columns());
+  for (size_t c = 0; c < cur.num_columns(); ++c) {
+    next_cols.push_back(CopyColumnSubset(cur.column(c), lrows));
+  }
+  for (size_t c = 0; c < base->num_columns(); ++c) {
+    next_cols.push_back(CopyColumnSubset(base->column(c), rrows));
+  }
+  next.pt_row.reserve(matches.size());
+  for (int64_t l : lrows) next.pt_row.push_back(in.pt_row[l]);
+  next.table = Table("APT", std::move(next_schema), std::move(next_cols),
+                     matches.size());
+  return next;
+}
+
+/// Scalar per-edge index for the reference path: flat multimap of canonical
+/// row-key hashes over the non-null-key rows, in base-row order (the shape
+/// AptIndexCache stored before the typed kernel layer).
+FlatMultiMap BuildReferenceIndex(const Table& base, const std::vector<int>& cols) {
+  FlatMultiMap index;
+  index.Reserve(base.num_rows());
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    if (HasNullKey(base, static_cast<int64_t>(r), cols)) continue;
+    index.Insert(HashRowKey(base, static_cast<int64_t>(r), cols),
+                 static_cast<int64_t>(r));
+  }
+  index.Finalize();
+  return index;
+}
+
+}  // namespace
+
 const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
-                                               const std::vector<int>& cols) {
+                                               const std::vector<int>& cols,
+                                               const TableStats* stats) {
   std::string key = base.name();
   for (int c : cols) {
     key += '|';
@@ -85,27 +330,11 @@ const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
     // get() (not wait()) rethrows a builder failure instead of returning
     // a half-built index.
     entry->ready.get();
-    return entry->index;
+    return *entry->index;
   }
 
-  Index& index = entry->index;
   try {
-    index.Reserve(base.num_rows());
-    for (size_t r = 0; r < base.num_rows(); ++r) {
-      bool has_null = false;
-      for (int c : cols) {
-        if (base.column(c).IsNull(r)) {
-          has_null = true;
-          break;
-        }
-      }
-      if (has_null) continue;
-      index.Insert(HashRowKey(base, static_cast<int64_t>(r), cols),
-                   static_cast<int64_t>(r));
-    }
-    // Dense payload runs for the (many) probes ahead; also frees the
-    // build-side chain arrays before the index is published.
-    index.Finalize();
+    entry->index = std::make_unique<Index>(base, cols, stats);
   } catch (...) {
     // Without this, waiters on the entry would block forever (the promise
     // would never be fulfilled). They see the same exception instead.
@@ -114,7 +343,256 @@ const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
   }
   builds_.fetch_add(1, std::memory_order_relaxed);
   entry->ready_promise.set_value();
-  return index;
+  return *entry->index;
+}
+
+// ---- AptPrefixCache ---------------------------------------------------------
+
+size_t AptPrefixCache::ApproxStateBytes(const AptJoinState& state) {
+  size_t bytes = state.pt_row.size() * sizeof(int32_t);
+  for (size_t c = 0; c < state.table.num_columns(); ++c) {
+    const Column& col = state.table.column(c);
+    bytes += col.ints().size() * sizeof(int64_t);
+    bytes += col.doubles().size() * sizeof(double);
+    bytes += col.codes().size() * sizeof(int32_t);
+    bytes += col.nulls().size();
+    for (size_t d = 0; d < col.dict_size(); ++d) {
+      // String payload plus per-entry bookkeeping (dictionary vector slot
+      // and index map node).
+      bytes += col.DictEntry(static_cast<int32_t>(d)).size() + 48;
+    }
+  }
+  return bytes;
+}
+
+void AptPrefixCache::EvictOverLimitLocked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = map_.find(victim);
+    // Only Ready entries live in the LRU list, so the lookup always hits.
+    bytes_ -= it->second->bytes;
+    it->second->in_lru = false;
+    map_.erase(it);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AptPrefixCache::set_max_bytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  EvictOverLimitLocked();
+}
+
+size_t AptPrefixCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_bytes_;
+}
+
+size_t AptPrefixCache::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
+    const std::string& key,
+    const std::function<Result<AptJoinState>()>& build) {
+  std::shared_ptr<Entry> entry;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<Entry>();
+      entry->ready = entry->ready_promise.get_future().share();
+      map_.emplace(key, entry);
+      builder = true;
+    }
+  }
+
+  if (!builder) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    // The future's release/acquire pair orders the builder's writes to
+    // entry->state/status before our reads.
+    entry->ready.wait();
+    // A builder exception resumes in every waiter, so each caller's own
+    // wrapper (the explainer's per-graph catch) formats it as if the
+    // waiter had built the state itself — identical at every schedule.
+    if (entry->exception) std::rethrow_exception(entry->exception);
+    if (!entry->status.ok()) return entry->status;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
+    return entry->state;
+  }
+
+  // Build outside the lock: builders of different prefixes proceed in
+  // parallel, and a builder may recursively GetOrBuild its own prefix.
+  Result<AptJoinState> built = Status::Internal("APT prefix build not run");
+  try {
+    built = build();
+  } catch (...) {
+    // Release waiters with the original exception (they rethrow it) and
+    // rethrow to the builder's caller; the entry is dropped so a later
+    // call retries.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.erase(key);
+    }
+    entry->exception = std::current_exception();
+    entry->ready_promise.set_value();
+    throw;
+  }
+  if (!built.ok()) {
+    // Failures are not cached (a row-limit abort under one caller's cap
+    // must not poison a caller with a larger one); waiters see this
+    // failure, later calls rebuild.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.erase(key);
+    }
+    entry->status = built.status();
+    entry->ready_promise.set_value();
+    return built.status();
+  }
+
+  auto state = std::make_shared<const AptJoinState>(std::move(built).MoveValue());
+  entry->state = state;
+  entry->bytes = ApproxStateBytes(*state);
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.push_front(key);
+    entry->lru_it = lru_.begin();
+    entry->in_lru = true;
+    bytes_ += entry->bytes;
+    // May evict the entry just inserted when it alone exceeds the bound;
+    // the returned shared_ptr keeps the state alive for this caller.
+    EvictOverLimitLocked();
+  }
+  entry->ready_promise.set_value();
+  return state;
+}
+
+// ---- MaterializeApt ---------------------------------------------------------
+
+Result<Apt> MaterializeApt(const ProvenanceTable& pt,
+                           const std::vector<int64_t>& pt_rows,
+                           const JoinGraph& graph,
+                           const SchemaGraph& schema_graph, const Database& db,
+                           const AptMaterializeOptions& options) {
+  AptIndexCache local_cache;
+  AptIndexCache* index_cache =
+      options.index_cache != nullptr ? options.index_cache : &local_cache;
+  AptPrefixCache* prefix_cache = options.prefix_cache;
+
+  ASSIGN_OR_RETURN(AptPlan plan, PlanAptSteps(graph));
+
+  Apt apt;
+  apt.pt_rows_used = pt_rows;
+  apt.num_pt_columns = pt.table.schema().num_columns();
+
+  std::vector<int> node_offset(graph.nodes().size(), -1);
+  StepContext ctx{&pt,         &graph,        &schema_graph, &db,
+                  index_cache, options.stats, options.row_limit, &node_offset};
+
+  // Current state: shared when it came from the prefix cache, local when
+  // built fresh. Steps never mutate their input, so a shared state feeds
+  // the next step exactly like a local one.
+  AptPrefixCache::StatePtr shared_cur;
+  AptJoinState local_cur;
+  bool cur_is_local = false;
+  const AptJoinState* cur = nullptr;
+
+  std::string prefix_key;
+  if (prefix_cache != nullptr) {
+    prefix_key = options.pt_fingerprint.empty()
+                     ? AptPtFingerprint(pt, pt_rows)
+                     : options.pt_fingerprint;
+    ASSIGN_OR_RETURN(shared_cur,
+                     prefix_cache->GetOrBuild(prefix_key, [&] {
+                       return BuildBaseState(pt, pt_rows);
+                     }));
+    cur = shared_cur.get();
+  } else {
+    ASSIGN_OR_RETURN(local_cur, BuildBaseState(pt, pt_rows));
+    cur_is_local = true;
+    cur = &local_cur;
+  }
+
+  size_t running_cols = pt.table.num_columns();
+  for (size_t si = 0; si < plan.steps.size(); ++si) {
+    const AptStep& step = plan.steps[si];
+    const bool last = si + 1 == plan.steps.size();
+    if (prefix_cache != nullptr && !last) {
+      // Proper prefixes go through the cache: siblings that share this
+      // graph's leading steps reuse the state instead of re-joining.
+      prefix_key += '|';
+      prefix_key += AptStepSignature(graph, schema_graph, step);
+      const AptJoinState* prev = cur;
+      ASSIGN_OR_RETURN(
+          shared_cur,
+          prefix_cache->GetOrBuild(prefix_key, [&]() -> Result<AptJoinState> {
+            return ApplyAptStep(*prev, step, ctx);
+          }));
+      cur = shared_cur.get();
+      cur_is_local = false;
+      // A cached tree-step state may exceed THIS call's cap even though its
+      // builder ran under a larger (or no) one; the abort must not depend
+      // on who built the state.
+      if (!step.cycle && ctx.row_limit > 0 &&
+          cur->table.num_rows() > ctx.row_limit) {
+        return Status::OutOfRange(
+            Format("APT exceeds row limit %zu for join graph %s",
+                   ctx.row_limit, graph.Describe().c_str()));
+      }
+    } else {
+      // The final step's state belongs to this graph alone — build it into
+      // a local so it can move into the Apt without a copy.
+      ASSIGN_OR_RETURN(AptJoinState next, ApplyAptStep(*cur, step, ctx));
+      local_cur = std::move(next);
+      cur_is_local = true;
+      cur = &local_cur;
+    }
+    if (!step.cycle) {
+      node_offset[step.new_node] = static_cast<int>(running_cols);
+      running_cols = cur->table.num_columns();
+    }
+  }
+
+  for (size_t v = 0; v < graph.nodes().size(); ++v) {
+    if (!plan.joined[v]) {
+      return Status::InvalidArgument(
+          "join graph is disconnected: node '" + graph.nodes()[v].label +
+          "' unreachable from PT");
+    }
+  }
+
+  if (cur_is_local) {
+    apt.table = std::move(local_cur.table);
+    apt.pt_row = std::move(local_cur.pt_row);
+  } else {
+    // Final state shared with the cache (the edgeless PT-only graph):
+    // deep-copy out so the Apt owns its table.
+    apt.table = cur->table;
+    apt.pt_row = cur->pt_row;
+  }
+
+  // Pattern-eligible columns: all except the query's group-by attributes and
+  // columns flagged mining_excluded (dates, surrogate keys).
+  for (size_t c = 0; c < apt.table.num_columns(); ++c) {
+    if (apt.table.schema().column(c).mining_excluded) continue;
+    bool excluded = false;
+    for (int g : pt.group_by_pt_cols) {
+      if (static_cast<size_t>(g) == c) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) apt.pattern_cols.push_back(static_cast<int>(c));
+  }
+  return apt;
 }
 
 Result<Apt> MaterializeApt(const ProvenanceTable& pt,
@@ -122,8 +600,22 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
                            const JoinGraph& graph,
                            const SchemaGraph& schema_graph, const Database& db,
                            AptIndexCache* cache, size_t row_limit) {
-  AptIndexCache local_cache;
-  if (cache == nullptr) cache = &local_cache;
+  AptMaterializeOptions options;
+  options.index_cache = cache;
+  options.row_limit = row_limit;
+  return MaterializeApt(pt, pt_rows, graph, schema_graph, db, options);
+}
+
+// ---- ReferenceMaterializeApt ------------------------------------------------
+// The scalar implementation, kept verbatim as the differential oracle and
+// bench baseline: per-edge flat indexes of canonical row-key hashes, scalar
+// HashRowKey/RowKeysEqual probes, breadth-first edge order.
+
+Result<Apt> ReferenceMaterializeApt(const ProvenanceTable& pt,
+                                    const std::vector<int64_t>& pt_rows,
+                                    const JoinGraph& graph,
+                                    const SchemaGraph& schema_graph,
+                                    const Database& db, size_t row_limit) {
   Apt apt;
   apt.pt_rows_used = pt_rows;
   apt.num_pt_columns = pt.table.schema().num_columns();
@@ -237,9 +729,9 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
         keys.right_cols.push_back(cn);
       }
 
-      // Probe the (cached) index on the context relation with the current
+      // Probe a per-edge index on the context relation with the current
       // APT rows, preserving the APT row order.
-      const AptIndexCache::Index& index = cache->Get(*base, keys.right_cols);
+      const FlatMultiMap index = BuildReferenceIndex(*base, keys.right_cols);
       std::vector<std::pair<int64_t, int64_t>> matches;
       for (size_t l = 0; l < cur.num_rows(); ++l) {
         uint64_t h = HashRowKey(cur, static_cast<int64_t>(l), keys.left_cols);

@@ -2,12 +2,26 @@
 // joined with the context relations of a join graph. Rows keep a pointer to
 // the provenance row they extend, which is what coverage (Definition 7a) is
 // computed over.
+//
+// Materialization runs every tree-edge join through the typed kernel layer
+// (JoinBuildIndex in src/exec/join.h) and shares work at two granularities:
+//  - AptIndexCache caches build-side join indexes per (relation, key
+//    columns) across join graphs;
+//  - AptPrefixCache caches intermediate join states per graph *prefix*, so
+//    sibling graphs (PT-A-B vs PT-A-C) start from the shared PT-A state
+//    instead of re-joining from the PT.
+// The seed's scalar implementation survives as ReferenceMaterializeApt, the
+// differential-testing oracle and bench baseline (mirroring
+// ReferenceHashEquiJoin / ReferenceExecuteSpj).
 
 #ifndef CAJADE_MINING_APT_H_
 #define CAJADE_MINING_APT_H_
 
 #include <atomic>
+#include <exception>
+#include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,19 +29,22 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/exec/flat_hash.h"
+#include "src/exec/join.h"
 #include "src/graph/join_graph.h"
 #include "src/provenance/provenance.h"
+#include "src/stats/table_stats.h"
 
 namespace cajade {
 
-/// \brief Cross-join-graph cache of hash indexes on context relations.
+/// \brief Cross-join-graph cache of build-side join indexes on context
+/// relations.
 ///
 /// Enumerations revisit the same (relation, join-key) combinations across
 /// hundreds of join graphs; caching the build side makes APT
-/// materialization cost proportional to the APT, not the base tables. The
-/// index is a flat open-addressing multimap keyed by canonical row-key
-/// hashes (duplicate chains preserve base-row order).
+/// materialization cost proportional to the APT, not the base tables.
+/// Entries are typed kernel indexes (JoinBuildIndex): dense counting or
+/// packed composite-key layouts sized from the StatsCatalog range tier when
+/// one is threaded through Get, so index builds never rescan key ranges.
 ///
 /// Safe for concurrent use from the parallel explainer: the key map is
 /// sharded across mutexes, and each entry is built exactly once behind a
@@ -37,11 +54,15 @@ namespace cajade {
 /// lifetime (entries are heap-owned and never evicted).
 class AptIndexCache {
  public:
-  using Index = FlatMultiMap;
+  using Index = JoinBuildIndex;
 
   /// Index of `base` on `cols` (built on first use). The base table must
-  /// outlive the cache entry's use.
-  const Index& Get(const Table& base, const std::vector<int>& cols);
+  /// outlive the cache entry's use. `stats` (the full `base` table's
+  /// statistics; the range tier suffices) sizes the typed layout without a
+  /// key-range rescan — it only needs to stay valid for the duration of the
+  /// call, and does not affect probe results (only build cost).
+  const Index& Get(const Table& base, const std::vector<int>& cols,
+                   const TableStats* stats = nullptr);
 
   /// Number of indexes actually built (not lookups); a concurrent stress
   /// test asserts this equals the number of distinct keys requested.
@@ -51,7 +72,7 @@ class AptIndexCache {
 
  private:
   struct Entry {
-    Index index;
+    std::unique_ptr<Index> index;
     std::promise<void> ready_promise;
     std::shared_future<void> ready;
   };
@@ -63,6 +84,101 @@ class AptIndexCache {
   static constexpr size_t kNumShards = 16;
   Shard shards_[kNumShards];
   std::atomic<size_t> builds_{0};
+};
+
+/// \brief One materialization state: the partial (or final) APT after some
+/// prefix of a join graph's materialization steps.
+///
+/// Immutable once published to the prefix cache — every step reads its input
+/// state and produces a fresh one, which is what lets states be shared
+/// between concurrent materializations by shared_ptr.
+struct AptJoinState {
+  /// PT columns followed by the context columns joined so far.
+  Table table;
+  /// state row -> position in the materialization's pt_rows.
+  std::vector<int32_t> pt_row;
+};
+
+/// \brief Cache of intermediate APT join states keyed by canonical graph
+/// prefix.
+///
+/// Join graphs produced by the enumerator overwhelmingly share prefixes
+/// (PT-A-B and PT-A-C differ only in their last step), and the initial
+/// PT-subset state is shared by every graph of one user question. Keys are
+/// the PT fingerprint plus the concatenated AptStepSignature prefix, so a
+/// state built for one graph is picked up by any sibling whose leading
+/// steps match.
+///
+/// Concurrency-safe under the per-graph WorkerPool fan-out: each key is
+/// built exactly once behind a std::shared_future (waiters block on the
+/// builder, as in AptIndexCache); build failures are reported to all
+/// waiters and not cached. Cached states are deterministic, so explanations
+/// stay bit-identical to the serial/uncached path at every thread count.
+///
+/// The cache is designed to outlive one Explain call (the serving-layer
+/// road): it carries a byte-accounted memory bound with LRU eviction.
+/// Evicting an entry only drops the cache's reference — readers holding the
+/// shared_ptr keep their state alive. Assumes an immutable database (like
+/// AptIndexCache): re-loading tables under a live cache invalidates it.
+class AptPrefixCache {
+ public:
+  using StatePtr = std::shared_ptr<const AptJoinState>;
+
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;  // 256 MiB
+
+  explicit AptPrefixCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Returns the state cached under `key`, building it via `build` on first
+  /// use (at most one builder per key across threads; concurrent callers
+  /// block until it finishes). A failed build is propagated to every waiter
+  /// and evicted immediately, so a later call retries.
+  Result<StatePtr> GetOrBuild(const std::string& key,
+                              const std::function<Result<AptJoinState>()>& build);
+
+  /// Adjusts the memory bound, evicting LRU entries if now over it.
+  void set_max_bytes(size_t max_bytes);
+  size_t max_bytes() const;
+  /// Bytes held by cached states (approximate, column-buffer accounting).
+  size_t bytes_in_use() const;
+
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t builds() const { return builds_.load(std::memory_order_relaxed); }
+  size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate heap footprint of a state (column buffers + dictionaries +
+  /// the pt-row map); the unit of the cache's byte accounting.
+  static size_t ApproxStateBytes(const AptJoinState& state);
+
+ private:
+  struct Entry {
+    std::promise<void> ready_promise;
+    std::shared_future<void> ready;
+    /// Published before ready is fulfilled; null when the build failed.
+    StatePtr state;
+    Status status = Status::OK();
+    /// A builder exception, rethrown to waiters so they wrap it exactly as
+    /// they would had they built the state themselves — the surfaced error
+    /// text must not depend on which graph won the builder race.
+    std::exception_ptr exception;
+    size_t bytes = 0;
+    bool in_lru = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictOverLimitLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  /// Most-recently-used first; holds only Ready entries.
+  std::list<std::string> lru_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> builds_{0};
+  std::atomic<size_t> evictions_{0};
 };
 
 /// \brief A materialized APT.
@@ -82,19 +198,67 @@ struct Apt {
   size_t num_rows() const { return pt_row.size(); }
 };
 
+/// Caches and statistics threaded through MaterializeApt.
+struct AptMaterializeOptions {
+  /// Build-side index cache; nullptr uses a per-call local cache.
+  AptIndexCache* index_cache = nullptr;
+  /// Prefix-state cache; nullptr disables prefix sharing (states are built
+  /// fresh; results are identical either way).
+  AptPrefixCache* prefix_cache = nullptr;
+  /// Statistics catalog whose thread-safe range tier (SharedRanges) sizes
+  /// the kernel indexes; nullptr makes index builds scan key ranges.
+  StatsCatalog* stats = nullptr;
+  /// 0 = unlimited; otherwise materialization aborts with OutOfRange once a
+  /// tree-edge join's output exceeds it — the backstop behind the cost
+  /// estimate's inevitable misses.
+  size_t row_limit = 0;
+  /// Precomputed AptPtFingerprint(pt, pt_rows) (empty = compute per call).
+  /// Callers materializing many graphs over one (pt, pt_rows) pair — the
+  /// explainer's per-graph fan-out — compute it once instead of re-hashing
+  /// the row selection per graph. Must match the pt/pt_rows actually
+  /// passed; a stale fingerprint aliases prefix-cache states.
+  std::string pt_fingerprint;
+};
+
+/// Stable fingerprint of a (PT, selected rows) pair: the leading component
+/// of every prefix-cache key (schema, relations, group-by shape, cached
+/// cell-content hash, selected row ids). Exposed so callers can compute it
+/// once per question via AptMaterializeOptions::pt_fingerprint.
+std::string AptPtFingerprint(const ProvenanceTable& pt,
+                             const std::vector<int64_t>& pt_rows);
+
 /// Materializes APT(Q, D, Omega) restricted to the given PT rows.
 ///
-/// Joins proceed breadth-first from the PT node; edges that close a cycle
-/// become post-join filters. PT-adjacent join conditions resolve their
-/// PT-side attributes through the query relation recorded on the edge.
-/// `row_limit` (0 = unlimited) aborts materialization with OutOfRange once
-/// an intermediate result exceeds it — the backstop behind the cost
-/// estimate's inevitable misses.
+/// Joins proceed breadth-first from the PT node (the deterministic step
+/// order of PlanAptSteps); edges that close a cycle become post-join
+/// filters. PT-adjacent join conditions resolve their PT-side attributes
+/// through the query relation recorded on the edge. Null join keys never
+/// match — including null vs null and middle columns of composite keys — on
+/// tree edges and cycle-closing filters alike, matching the executor's
+/// contract. Output is bit-identical to ReferenceMaterializeApt.
+Result<Apt> MaterializeApt(const ProvenanceTable& pt,
+                           const std::vector<int64_t>& pt_rows,
+                           const JoinGraph& graph, const SchemaGraph& schema_graph,
+                           const Database& db,
+                           const AptMaterializeOptions& options);
+
+/// Convenience overload matching the historical signature; `cache` and
+/// `row_limit` map onto AptMaterializeOptions (no prefix cache, no stats).
 Result<Apt> MaterializeApt(const ProvenanceTable& pt,
                            const std::vector<int64_t>& pt_rows,
                            const JoinGraph& graph, const SchemaGraph& schema_graph,
                            const Database& db, AptIndexCache* cache = nullptr,
                            size_t row_limit = 0);
+
+/// Differential-testing oracle and bench baseline: the scalar
+/// implementation (per-row HashRowKey/RowKeysEqual probes against a local
+/// flat index per tree edge), kept verbatim. Same results, same errors,
+/// same row order as MaterializeApt.
+Result<Apt> ReferenceMaterializeApt(const ProvenanceTable& pt,
+                                    const std::vector<int64_t>& pt_rows,
+                                    const JoinGraph& graph,
+                                    const SchemaGraph& schema_graph,
+                                    const Database& db, size_t row_limit = 0);
 
 }  // namespace cajade
 

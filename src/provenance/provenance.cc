@@ -4,6 +4,7 @@
 
 #include "src/common/string_util.h"
 #include "src/exec/executor.h"
+#include "src/exec/join.h"
 
 namespace cajade {
 
@@ -56,6 +57,24 @@ int ProvenanceTable::FindColumn(const std::string& relation,
     if (c >= 0) return c;
   }
   return -1;
+}
+
+uint64_t ProvenanceTable::ContentFingerprint() const {
+  uint64_t cached = content_fingerprint_.value.load(std::memory_order_acquire);
+  if (cached != 0) return cached;
+  // One canonical-hash pass over every PT cell (nulls hash to the fixed
+  // sentinel). Deterministic, so concurrent first callers compute — and
+  // store — the same value.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      h = CombineKeyHash(h, HashKeyCell(col, static_cast<int64_t>(r)));
+    }
+  }
+  if (h == 0) h = 1;  // 0 is the not-yet-computed sentinel
+  content_fingerprint_.value.store(h, std::memory_order_release);
+  return h;
 }
 
 std::vector<int> ProvenanceTable::AliasesOfRelation(

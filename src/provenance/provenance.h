@@ -10,6 +10,8 @@
 #ifndef CAJADE_PROVENANCE_PROVENANCE_H_
 #define CAJADE_PROVENANCE_PROVENANCE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,15 @@ struct ProvenanceTable {
   /// copies of query relations in an APT exclude them too.
   std::vector<std::pair<std::string, std::string>> group_by_source_attrs;
 
+  /// Content fingerprint of the PT rows (canonical per-cell hashes, nulls
+  /// included), computed lazily on first use and cached — callers keying
+  /// caches that outlive one Explain call (the APT prefix cache) fold it in
+  /// so two queries whose PTs merely agree on shape and row count can never
+  /// alias each other's cached states. Safe to call concurrently; racing
+  /// computations store the same deterministic value. The PT must not be
+  /// mutated after the first call.
+  uint64_t ContentFingerprint() const;
+
   /// PT column index of `relation`.`attribute`, searching all aliases bound
   /// to that relation. -1 when absent.
   int FindColumn(const std::string& relation, const std::string& attribute) const;
@@ -61,6 +72,26 @@ struct ProvenanceTable {
 
   /// All alias indexes bound to `relation`.
   std::vector<int> AliasesOfRelation(const std::string& relation) const;
+
+ private:
+  /// An atomic cache slot that keeps the enclosing struct copyable and
+  /// movable (copies carry the cached value; concurrent stores all write
+  /// the same deterministic fingerprint).
+  struct FingerprintCache {
+    std::atomic<uint64_t> value{0};
+    FingerprintCache() = default;
+    FingerprintCache(const FingerprintCache& o)
+        : value(o.value.load(std::memory_order_relaxed)) {}
+    FingerprintCache& operator=(const FingerprintCache& o) {
+      value.store(o.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  /// ContentFingerprint cache; 0 = not yet computed (computed values are
+  /// forced nonzero).
+  mutable FingerprintCache content_fingerprint_;
 };
 
 /// Executes `query` against `db` and assembles its provenance. Constructs a

@@ -144,6 +144,29 @@ const TableStats& StatsCatalog::Get(const Table& table) {
   return pos->second.stats;
 }
 
+std::shared_ptr<const TableStats> StatsCatalog::SharedRanges(
+    const Table& table) {
+  {
+    std::lock_guard<std::mutex> lock(shared_mu_);
+    auto it = shared_ranges_.find(table.name());
+    if (it != shared_ranges_.end() && it->second.rows == table.num_rows()) {
+      return it->second.stats;
+    }
+  }
+  // Compute outside the lock so one slow scan does not serialize unrelated
+  // tables; two threads racing on the same table both compute identical
+  // (deterministic) snapshots and the first insert wins.
+  auto stats = std::make_shared<const TableStats>(ComputeTableRanges(table));
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  auto it = shared_ranges_.find(table.name());
+  if (it != shared_ranges_.end() && it->second.rows == table.num_rows()) {
+    return it->second.stats;
+  }
+  shared_ranges_.insert_or_assign(table.name(),
+                                  SharedEntry{table.num_rows(), stats});
+  return stats;
+}
+
 const TableStats& StatsCatalog::GetRanges(const Table& table) {
   auto it = cache_.find(table.name());
   if (it != cache_.end() && it->second.rows == table.num_rows()) {

@@ -6,6 +6,8 @@
 #ifndef CAJADE_STATS_TABLE_STATS_H_
 #define CAJADE_STATS_TABLE_STATS_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +52,12 @@ TableStats ComputeTableStats(const Table& table);
 TableStats ComputeTableRanges(const Table& table);
 
 /// \brief Cache of table statistics keyed by table name + row count.
+///
+/// Get/GetRanges/CombinedNdv serve one caller stream at a time (the executor
+/// wraps its catalog in a mutex; the enumerator runs serially). SharedRanges
+/// is the exception: it is safe to call concurrently — the parallel APT
+/// materialization fan-out reads the range tier through it while no one is
+/// using the single-stream methods.
 class StatsCatalog {
  public:
   const TableStats& Get(const Table& table);
@@ -57,6 +65,16 @@ class StatsCatalog {
   /// Range-only statistics (see ComputeTableRanges); served from a cached
   /// full entry when one exists, upgraded in place by a later Get().
   const TableStats& GetRanges(const Table& table);
+
+  /// Thread-safe range tier: an immutable, shared snapshot of
+  /// ComputeTableRanges(table), computed once per (name, row count) behind an
+  /// internal mutex. Unlike Get/GetRanges the returned object is never
+  /// upgraded or mutated, so concurrent readers can hold it across their own
+  /// work (the join kernels size dense layouts from it without rescanning).
+  /// Kept in a map separate from the single-stream cache: the one extra
+  /// sequential range scan per table is the price of not sharing mutable
+  /// entries across threads.
+  std::shared_ptr<const TableStats> SharedRanges(const Table& table);
 
   /// Exact distinct count of the multi-column combination `cols` (cached).
   /// Correlated columns (e.g. the year/month/day/home parts of a game key)
@@ -76,6 +94,13 @@ class StatsCatalog {
   };
   std::unordered_map<std::string, Entry> cache_;
   std::unordered_map<std::string, size_t> combined_ndv_;
+
+  struct SharedEntry {
+    size_t rows;
+    std::shared_ptr<const TableStats> stats;
+  };
+  std::mutex shared_mu_;
+  std::unordered_map<std::string, SharedEntry> shared_ranges_;
 };
 
 }  // namespace cajade

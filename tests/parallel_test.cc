@@ -209,13 +209,103 @@ TEST(AptIndexCacheTest, CachedIndexProbesCorrectly) {
   AptIndexCache cache;
   const AptIndexCache::Index& idx = cache.Get(t, {0});
   EXPECT_EQ(idx.size(), 1000u);
-  EXPECT_EQ(idx.distinct_keys(), 10u);
-  size_t matches = 0;
-  idx.ForEach(HashRowKey(t, 7, {0}), [&](int64_t) { ++matches; });
-  EXPECT_EQ(matches, 100u);
-  // Second Get returns the same finalized index without rebuilding.
+  // Probe with one tuple whose key is row 7's: all 100 rows of that key, in
+  // ascending build-row order.
+  std::vector<int64_t> probe_rows = {7};
+  std::vector<std::pair<int64_t, int64_t>> matches;
+  EXPECT_TRUE(idx.Probe({{&t.column(0), &probe_rows}}, 1, 0, &matches));
+  EXPECT_EQ(matches.size(), 100u);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LT(matches[i - 1].second, matches[i].second);
+  }
+  // Second Get returns the same index without rebuilding.
   EXPECT_EQ(&cache.Get(t, {0}), &idx);
   EXPECT_EQ(cache.num_builds(), 1u);
+}
+
+// ---- AptPrefixCache contention ----------------------------------------------
+
+AptJoinState MakeState(int64_t tag, size_t rows) {
+  AptJoinState state;
+  Table t("S", Schema({{"v", DataType::kInt64}}));
+  t.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    (void)t.AppendRow({Value(tag + static_cast<int64_t>(i))});
+  }
+  state.table = std::move(t);
+  state.pt_row.assign(rows, 0);
+  return state;
+}
+
+TEST(AptPrefixCacheTest, ConcurrentGetOrBuildBuildsEachKeyOnce) {
+  AptPrefixCache cache;
+  constexpr int kKeys = 6;
+  std::atomic<int> build_calls{0};
+  std::atomic<bool> failed{false};
+  auto worker = [&](int tid) {
+    for (int iter = 0; iter < 40; ++iter) {
+      for (int k = 0; k < kKeys; ++k) {
+        int key = (k + tid) % kKeys;  // stagger so builders/waiters overlap
+        auto state = cache.GetOrBuild("k" + std::to_string(key), [&] {
+          build_calls.fetch_add(1, std::memory_order_relaxed);
+          return Result<AptJoinState>(MakeState(key * 1000, 64));
+        });
+        if (!state.ok() ||
+            (*state)->table.column(0).GetInt(0) != key * 1000) {
+          failed.store(true);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  // Every key built exactly once despite 8 threads racing to request it.
+  EXPECT_EQ(build_calls.load(), kKeys);
+  EXPECT_EQ(cache.builds(), static_cast<size_t>(kKeys));
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.bytes_in_use(), 0u);
+}
+
+TEST(AptPrefixCacheTest, MemoryBoundEvictsLruAndKeepsLiveStates) {
+  AptJoinState probe = MakeState(0, 256);
+  const size_t state_bytes = AptPrefixCache::ApproxStateBytes(probe);
+  // Room for about two states.
+  AptPrefixCache cache(2 * state_bytes + state_bytes / 2);
+  auto s0 = cache.GetOrBuild("a", [] { return Result<AptJoinState>(MakeState(0, 256)); });
+  auto s1 = cache.GetOrBuild("b", [] { return Result<AptJoinState>(MakeState(1000, 256)); });
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(cache.evictions(), 0u);
+  // Touch "a" so "b" is the LRU victim.
+  (void)cache.GetOrBuild("a", [] { return Result<AptJoinState>(MakeState(9, 1)); });
+  auto s2 = cache.GetOrBuild("c", [] { return Result<AptJoinState>(MakeState(2, 256)); });
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes_in_use(), cache.max_bytes());
+  // The evicted key rebuilds; the held shared_ptr stayed valid throughout.
+  EXPECT_EQ((*s1)->table.column(0).GetInt(0), 1000);
+  size_t builds_before = cache.builds();
+  auto s1b = cache.GetOrBuild("b", [] { return Result<AptJoinState>(MakeState(1000, 256)); });
+  ASSERT_TRUE(s1b.ok());
+  EXPECT_EQ(cache.builds(), builds_before + 1);
+}
+
+TEST(AptPrefixCacheTest, FailedBuildsPropagateAndAreNotCached) {
+  AptPrefixCache cache;
+  auto r1 = cache.GetOrBuild("bad", [] {
+    return Result<AptJoinState>(Status::OutOfRange("too big"));
+  });
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kOutOfRange);
+  // The failure was not cached: a later call rebuilds and can succeed.
+  auto r2 = cache.GetOrBuild("bad", [] {
+    return Result<AptJoinState>(MakeState(5, 8));
+  });
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->table.num_rows(), 8u);
 }
 
 }  // namespace
