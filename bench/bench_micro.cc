@@ -314,36 +314,93 @@ struct ExampleFixture {
   }
 };
 
+/// Workload for the pattern-matching kernels: a null-free 64k-row table and
+/// a 3-predicate pattern (int >= at ~50% selectivity — the branch-predictor
+/// worst case for the scalar path — then double <=, then a 1-in-8 string
+/// equality). The acceptance shape for BM_PatternKernelMatchMask.
+struct KernelBenchFixture {
+  Table table{"k", Schema({{"i", DataType::kInt64},
+                           {"d", DataType::kDouble},
+                           {"s", DataType::kString}})};
+  Pattern pattern;
+
+  static constexpr size_t kRows = 65536;
+
+  static KernelBenchFixture& Get() {
+    static KernelBenchFixture* f = [] {
+      auto* fx = new KernelBenchFixture();
+      Rng rng(17);
+      fx->table.Reserve(kRows);
+      for (size_t r = 0; r < kRows; ++r) {
+        (void)fx->table.AppendRow(
+            {Value(static_cast<int64_t>(rng.NextBounded(1000))),
+             Value(rng.UniformDouble()),
+             Value("v" + std::to_string(rng.NextBounded(8)))});
+      }
+      fx->pattern = fx->pattern.Refine(
+          PatternPredicate::Make(fx->table, 0, PredOp::kGe, Value(int64_t{500})));
+      fx->pattern = fx->pattern.Refine(
+          PatternPredicate::Make(fx->table, 1, PredOp::kLe, Value(0.75)));
+      fx->pattern = fx->pattern.Refine(
+          PatternPredicate::Make(fx->table, 2, PredOp::kEq, Value("v3")));
+      return fx;
+    }();
+    return *f;
+  }
+};
+
 void BM_PatternMatch(benchmark::State& state) {
-  auto& fx = ExampleFixture::Get();
-  Pattern p = fx.CurryPattern();
+  auto& fx = KernelBenchFixture::Get();
   for (auto _ : state) {
     size_t matches = 0;
-    for (size_t r = 0; r < fx.apt.num_rows(); ++r) {
-      matches += p.Matches(fx.apt.table, r) ? 1 : 0;
+    for (size_t r = 0; r < fx.table.num_rows(); ++r) {
+      matches += fx.pattern.Matches(fx.table, r) ? 1 : 0;
     }
     benchmark::DoNotOptimize(matches);
   }
-  state.SetItemsProcessed(state.iterations() * fx.apt.num_rows());
+  state.SetItemsProcessed(state.iterations() * fx.table.num_rows());
 }
 BENCHMARK(BM_PatternMatch);
 
+/// The scalar row-id kernel path (ReferenceMatchAll): the "before" row the
+/// mask kernels are gated against.
 void BM_PatternKernelMatch(benchmark::State& state) {
-  auto& fx = ExampleFixture::Get();
-  PatternKernel kernel(fx.CurryPattern(), fx.apt.table);
+  auto& fx = KernelBenchFixture::Get();
+  PatternKernel kernel(fx.pattern, fx.table);
   std::vector<int32_t> rows;
-  rows.reserve(fx.apt.num_rows());
+  rows.reserve(fx.table.num_rows());
+  size_t matches = 0;
   for (auto _ : state) {
-    kernel.MatchAll(fx.apt.num_rows(), &rows);
+    kernel.ReferenceMatchAll(fx.table.num_rows(), &rows);
+    matches = rows.size();
     benchmark::DoNotOptimize(rows.data());
   }
-  state.SetItemsProcessed(state.iterations() * fx.apt.num_rows());
+  state.SetItemsProcessed(state.iterations() * fx.table.num_rows());
+  state.counters["matches"] = static_cast<double>(matches);
 }
 BENCHMARK(BM_PatternKernelMatch);
 
+/// The bitmask-native path: chunked branch-free evaluation into selection
+/// words, later predicates fused by AND with skip-word early-out, no row-id
+/// materialization. Acceptance: >= 3x BM_PatternKernelMatch items/s.
+void BM_PatternKernelMatchMask(benchmark::State& state) {
+  auto& fx = KernelBenchFixture::Get();
+  PatternKernel kernel(fx.pattern, fx.table);
+  CoverageBitmap mask;
+  size_t matches = 0;
+  for (auto _ : state) {
+    matches = kernel.MatchMask(fx.table.num_rows(), &mask);
+    benchmark::DoNotOptimize(mask.MutableWords());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.table.num_rows());
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_PatternKernelMatchMask);
+
 /// The refinement inner loop in isolation — compile one numeric predicate,
-/// filter the selection vector into a reused buffer, score via bitmap
-/// popcounts — reporting heap allocations per pattern (0 in steady state).
+/// filter the parent match mask into a reused child mask, project it onto
+/// PT positions, score via bitmap popcounts — reporting heap allocations
+/// per pattern (0 in steady state).
 void BM_RefineStep(benchmark::State& state) {
   auto& fx = ExampleFixture::Get();
   int pts_col = fx.apt.table.schema().FindColumn("player_game_scoring.pts");
@@ -352,25 +409,26 @@ void BM_RefineStep(benchmark::State& state) {
   MetricsView full = FullView(fx.apt, fx.classes);
   CoverageScorer scorer(fx.classes, full);
   CoverageBitmap covered;
-  std::vector<int32_t> all_rows(fx.apt.num_rows());
-  std::iota(all_rows.begin(), all_rows.end(), 0);
-  std::vector<int32_t> child;
-  child.reserve(all_rows.size());
+  CoverageBitmap parent(fx.apt.num_rows());
+  parent.SetAll();
+  CoverageBitmap child;
+  child.ResetForOverwrite(fx.apt.num_rows());
   covered.Reset(scorer.num_positions());
 
   size_t allocs = 0;
   for (auto _ : state) {
     size_t before = g_heap_allocs.load(std::memory_order_relaxed);
     CompiledPredicate cp = CompiledPredicate::Compile(pred, fx.apt.table);
-    cp.FilterInto(all_rows, &child);
+    cp.FilterMask(fx.apt.num_rows(), parent.words().data(), fx.apt.num_rows(),
+                  child.MutableWords());
     covered.Reset(scorer.num_positions());
-    CoverageScorer::CoverageFromRows(child, fx.apt.pt_row, &covered);
+    CoverageScorer::CoverageFromMask(child, fx.apt.pt_row, &covered);
     PatternScores s0 = scorer.Score(covered, 0);
     PatternScores s1 = scorer.Score(covered, 1);
     benchmark::DoNotOptimize(s0.fscore + s1.fscore);
     allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
   }
-  state.SetItemsProcessed(state.iterations() * all_rows.size());
+  state.SetItemsProcessed(state.iterations() * fx.apt.num_rows());
   state.counters["heap_allocs_per_pattern"] =
       static_cast<double>(allocs) / static_cast<double>(state.iterations());
 }

@@ -24,20 +24,26 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> out;
+  SampleIndicesInto(n, k, &out);
+  return out;
+}
+
+void Rng::SampleIndicesInto(size_t n, size_t k, std::vector<size_t>* out) {
   if (k >= n) {
-    std::vector<size_t> all(n);
-    std::iota(all.begin(), all.end(), 0);
-    return all;
+    out->resize(n);
+    std::iota(out->begin(), out->end(), size_t{0});
+    return;
   }
   // Partial Fisher-Yates over an index vector; O(n) setup, O(k) draws.
-  std::vector<size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<size_t>& idx = *out;
+  idx.resize(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
   for (size_t i = 0; i < k; ++i) {
     size_t j = i + NextBounded(n - i);
     std::swap(idx[i], idx[j]);
   }
   idx.resize(k);
-  return idx;
 }
 
 }  // namespace cajade

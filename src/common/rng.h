@@ -82,6 +82,10 @@ class Rng {
   /// (k may exceed n, in which case all n indices are returned).
   std::vector<size_t> SampleIndices(size_t n, size_t k);
 
+  /// Allocation-free variant: fills `*out` (capacity reused) with the same
+  /// sample — identical draw sequence — for per-node hot loops.
+  void SampleIndicesInto(size_t n, size_t k, std::vector<size_t>* out);
+
  private:
   uint64_t state_[4];
   bool have_cached_normal_ = false;

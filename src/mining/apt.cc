@@ -56,6 +56,14 @@ Result<int> ResolvePtColumn(const ProvenanceTable& pt, const std::string& relati
 
 }  // namespace
 
+bool Apt::PtRowIsIdentity() const {
+  if (pt_row.size() != pt_rows_used.size()) return false;
+  for (size_t r = 0; r < pt_row.size(); ++r) {
+    if (pt_row[r] != static_cast<int32_t>(r)) return false;
+  }
+  return true;
+}
+
 // Hashes the PT's shape (schema, relations, group-by attributes), its cell
 // contents (ContentFingerprint — one cached pass per PT, so two queries
 // whose provenance merely agrees on shape and row count do not alias each

@@ -196,6 +196,12 @@ struct Apt {
   std::vector<int> pattern_cols;
 
   size_t num_rows() const { return pt_row.size(); }
+
+  /// True when every APT row extends a distinct PT position in order
+  /// (pt_row is the identity map) — the case for 1:1 context joins. The
+  /// mask-native miner then scores a row match mask directly as the
+  /// coverage set, skipping the row→position projection.
+  bool PtRowIsIdentity() const;
 };
 
 /// Caches and statistics threaded through MaterializeApt.

@@ -1,38 +1,74 @@
-// 64-bit coverage bitmaps for pattern scoring. Coverage (Definition 7a) is a
-// set of PT positions; storing it as packed words turns the TP/FP counting
+// 64-bit bitmaps for the mining hot path. Coverage (Definition 7a) is a set
+// of PT positions; storing it as packed words turns the TP/FP counting
 // inside F-score calculation into AND + popcount over words instead of a
-// byte-per-position scan, and lets the refinement loop reuse one buffer for
-// every pattern it evaluates.
+// byte-per-position scan. The same type carries the pattern kernels' row
+// selection masks (bit r = APT row r matches), so a full-table match mask
+// flows into coverage scoring without ever materializing row-id lists.
 
 #ifndef CAJADE_MINING_COVERAGE_H_
 #define CAJADE_MINING_COVERAGE_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace cajade {
 
 /// \brief A fixed-size bitset sized at runtime, built for reuse: Reset()
-/// keeps the allocation.
+/// keeps the allocation. Tail bits past num_bits() are kept zero by every
+/// member that could set them, so word-level consumers (AndPopcount, the
+/// pattern kernels) never need per-bit bounds checks.
 class CoverageBitmap {
  public:
   CoverageBitmap() = default;
   explicit CoverageBitmap(size_t bits) { Reset(bits); }
+  /// Adopts pre-built words (e.g. a mask produced word-by-word by a kernel)
+  /// without copying. `words` must hold exactly NumWords(bits) entries; tail
+  /// bits are cleared.
+  CoverageBitmap(std::vector<uint64_t> words, size_t bits) {
+    Adopt(std::move(words), bits);
+  }
+
+  static size_t NumWords(size_t bits) { return (bits + 63) / 64; }
 
   /// Resizes to `bits` positions and clears every bit. Never shrinks
   /// capacity, so steady-state use allocates nothing.
   void Reset(size_t bits) {
     num_bits_ = bits;
-    words_.assign((bits + 63) / 64, 0);
+    words_.assign(NumWords(bits), 0);
+  }
+
+  /// Resizes to `bits` positions without clearing: for callers about to
+  /// overwrite every word (kernel mask outputs). Tail-bit hygiene is the
+  /// writer's job (the kernels' tail loops produce zero tail bits).
+  void ResetForOverwrite(size_t bits) {
+    num_bits_ = bits;
+    words_.resize(NumWords(bits));
+  }
+
+  /// Takes ownership of `words` as the backing store (no copy).
+  void Adopt(std::vector<uint64_t> words, size_t bits) {
+    assert(words.size() == NumWords(bits));
+    words_ = std::move(words);
+    num_bits_ = bits;
+    ClearTail();
   }
 
   size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
 
   void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
 
   bool Test(size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  /// Sets every bit in [0, num_bits()).
+  void SetAll() {
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    ClearTail();
   }
 
   /// Number of set bits.
@@ -44,6 +80,7 @@ class CoverageBitmap {
 
   /// popcount(this & other); both bitmaps must be the same size.
   size_t AndPopcount(const CoverageBitmap& other) const {
+    assert(num_bits_ == other.num_bits_);
     size_t n = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
       n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
@@ -52,11 +89,36 @@ class CoverageBitmap {
   }
 
   const std::vector<uint64_t>& words() const { return words_; }
+  /// Raw word access for kernel writers; tail bits must end up zero.
+  uint64_t* MutableWords() { return words_.data(); }
 
  private:
+  void ClearTail() {
+    if ((num_bits_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (num_bits_ & 63)) - 1;
+    }
+  }
+
   std::vector<uint64_t> words_;
   size_t num_bits_ = 0;
 };
+
+/// Calls `fn(bit_index)` for every set bit of `words` (ascending). Zero
+/// words are skipped, so cost tracks the popcount, not the span. The shared
+/// idiom behind the kernels' sparse paths and mask→coverage projection.
+template <typename Fn>
+inline void ForEachSetBit(const uint64_t* words, size_t num_words, Fn&& fn) {
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t word = words[w];
+    if (word == 0) continue;
+    const size_t base = w * 64;
+    do {
+      const unsigned b = static_cast<unsigned>(__builtin_ctzll(word));
+      word &= word - 1;
+      fn(base + b);
+    } while (word != 0);
+  }
+}
 
 }  // namespace cajade
 

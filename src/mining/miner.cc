@@ -76,9 +76,9 @@ std::vector<double> FragmentBoundaries(const Apt& apt, const MetricsView& view,
 }
 
 /// Recursive-refinement driver state. The coverage bitmap and the per-depth
-/// selection buffers are owned here and reused across every pattern
-/// evaluated, so the refinement loop itself performs no per-pattern heap
-/// allocation for scoring or row filtering.
+/// mask buffers are owned here and reused across every pattern evaluated,
+/// so the refinement loop itself performs no per-pattern heap allocation
+/// for scoring or row filtering.
 struct RefineContext {
   const Apt* apt;
   const PtClasses* classes;
@@ -90,20 +90,23 @@ struct RefineContext {
   std::vector<MinedPattern>* pool;
   CoverageScorer scorer;                          // built once per Mine()
   CoverageBitmap covered;                         // reusable scratch
-  std::vector<std::vector<int32_t>> row_arena;    // child rows, one per depth
+  std::vector<CoverageBitmap> mask_arena;         // child masks, one per depth
+  size_t num_rows = 0;                            // APT rows (mask width)
+  bool pt_identity = false;                       // Apt::PtRowIsIdentity()
   size_t evaluated = 0;
   size_t row_work = 0;
   bool budget_exhausted = false;
 };
 
-/// Scores `pattern` from its matched APT rows, appends qualifying pool
-/// entries, and recursively refines with numeric predicates on attributes
-/// after `next_attr` (the ordering removes duplicate generation). `depth`
-/// indexes the arena buffer children of this call filter into; the caller's
-/// `matched_rows` lives at depth-1 (or in the seed) and stays untouched.
+/// Scores `pattern` from its match mask (bit r = APT row r matches; the
+/// popcount is `matched_count`), appends qualifying pool entries, and
+/// recursively refines with numeric predicates on attributes after
+/// `next_attr` (the ordering removes duplicate generation). `depth` indexes
+/// the arena mask children of this call filter into; the caller's
+/// `matched_mask` lives at depth-1 (or in the seed) and stays untouched.
 void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
-                   const std::vector<int32_t>& matched_rows, size_t next_attr,
-                   size_t depth) {
+                   const CoverageBitmap& matched_mask, size_t matched_count,
+                   size_t next_attr, size_t depth) {
   if (ctx.evaluated >= ctx.config->refinement_budget ||
       ctx.row_work >= ctx.config->refinement_row_budget) {
     ctx.budget_exhausted = true;
@@ -111,15 +114,20 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
   }
   ++ctx.evaluated;
 
-  // Coverage bitmap from the matched rows (reused buffer, popcount scoring).
+  // Coverage from the match mask (reused buffer, popcount scoring). With an
+  // identity pt_row the match mask IS the coverage set and scores directly.
   double recall[2];
   {
     ScopedStep step(ctx.profiler, "F-score Calc.");
-    ctx.covered.Reset(ctx.scorer.num_positions());
-    CoverageScorer::CoverageFromRows(matched_rows, ctx.apt->pt_row,
-                                     &ctx.covered);
+    const CoverageBitmap* cov = &matched_mask;
+    if (!ctx.pt_identity) {
+      ctx.covered.Reset(ctx.scorer.num_positions());
+      CoverageScorer::CoverageFromMask(matched_mask, ctx.apt->pt_row,
+                                       &ctx.covered);
+      cov = &ctx.covered;
+    }
     for (int primary = 0; primary < 2; ++primary) {
-      PatternScores s = ctx.scorer.Score(ctx.covered, primary);
+      PatternScores s = ctx.scorer.Score(*cov, primary);
       recall[primary] = s.recall;
       if (!pattern.empty() && s.recall > ctx.config->recall_threshold) {
         MinedPattern mp;
@@ -141,9 +149,10 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
   }
 
   // The arena is pre-sized in Mine() to the maximum recursion depth, so this
-  // reference (and the `matched_rows` references held by callers above)
+  // reference (and the `matched_mask` references held by callers above)
   // stays valid across the recursive calls below.
-  std::vector<int32_t>& child_rows = ctx.row_arena[depth];
+  CoverageBitmap& child_mask = ctx.mask_arena[depth];
+  child_mask.ResetForOverwrite(ctx.num_rows);
 
   ScopedStep step(ctx.profiler, "Refine Patterns");
   for (size_t a = next_attr; a < ctx.numeric_attrs.size(); ++a) {
@@ -163,12 +172,14 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
                              : Value(c);
         PatternPredicate pred =
             PatternPredicate::Make(ctx.apt->table, col, op, constant);
-        ctx.row_work += matched_rows.size();
-        CompiledPredicate::Compile(pred, ctx.apt->table)
-            .FilterInto(matched_rows, &child_rows);
-        if (child_rows.empty()) continue;
+        ctx.row_work += matched_count;
+        size_t child_count = static_cast<size_t>(
+            CompiledPredicate::Compile(pred, ctx.apt->table)
+                .FilterMask(ctx.num_rows, matched_mask.words().data(),
+                            matched_count, child_mask.MutableWords()));
+        if (child_count == 0) continue;
         Pattern child = pattern.Refine(std::move(pred));
-        ExpandPattern(ctx, child, child_rows, a + 1, depth + 1);
+        ExpandPattern(ctx, child, child_mask, child_count, a + 1, depth + 1);
         if (ctx.budget_exhausted) return;
       }
     }
@@ -355,11 +366,15 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   result.lca_candidates = candidates.size();
 
   // (iii) Recall-filter candidates; keep top k_cat by recall as seeds.
+  // Matching is mask-native: the kernel's full-APT (or view-restricted)
+  // match mask feeds coverage scoring directly, no row-id materialization.
   struct Seed {
     Pattern pattern;
-    std::vector<int32_t> rows;
+    CoverageBitmap mask;
+    size_t count = 0;
     double recall;
   };
+  const bool pt_identity = apt.PtRowIsIdentity();
   std::vector<Seed> seeds;
   CoverageScorer scorer(classes, view);
   {
@@ -369,32 +384,59 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     const size_t kMaxScored = 500;
     size_t scored = 0;
     PatternKernel kernel;
-    std::vector<int32_t> rows;
+    CoverageBitmap mask;
     CoverageBitmap covered;
+    // Two passes so only the <= k_cat winners ever hold a mask copy: first
+    // score every candidate in the reused buffers, then re-match just the
+    // kept seeds (the sort sees the same recall sequence the one-pass
+    // variant would, so ties resolve identically).
+    struct ScoredCandidate {
+      const Pattern* pattern;
+      double recall;
+    };
+    std::vector<ScoredCandidate> kept;
     for (const auto& cand : candidates) {
       if (scored >= kMaxScored) break;
       ++scored;
       kernel.Compile(cand.pattern, apt.table);
       if (view.all_rows) {
-        kernel.MatchAll(apt.num_rows(), &rows);
+        kernel.MatchMask(apt.num_rows(), &mask);
       } else {
-        kernel.MatchInto(view.apt_rows, &rows);
+        kernel.MatchMask(view.apt_rows_mask, view.apt_rows.size(), &mask);
       }
-      covered.Reset(scorer.num_positions());
-      CoverageScorer::CoverageFromRows(rows, apt.pt_row, &covered);
+      const CoverageBitmap* cov = &mask;
+      if (!pt_identity) {
+        covered.Reset(scorer.num_positions());
+        CoverageScorer::CoverageFromMask(mask, apt.pt_row, &covered);
+        cov = &covered;
+      }
       double best_recall = 0;
       for (int primary = 0; primary < 2; ++primary) {
         best_recall = std::max(best_recall,
-                               scorer.Score(covered, primary).recall);
+                               scorer.Score(*cov, primary).recall);
       }
       if (best_recall > config_->recall_threshold) {
-        seeds.push_back({cand.pattern, rows, best_recall});
+        kept.push_back({&cand.pattern, best_recall});
       }
     }
-    std::sort(seeds.begin(), seeds.end(),
-              [](const Seed& a, const Seed& b) { return a.recall > b.recall; });
-    if (seeds.size() > static_cast<size_t>(config_->k_cat)) {
-      seeds.resize(config_->k_cat);
+    std::sort(kept.begin(), kept.end(),
+              [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                return a.recall > b.recall;
+              });
+    if (kept.size() > static_cast<size_t>(config_->k_cat)) {
+      kept.resize(config_->k_cat);
+    }
+    seeds.reserve(kept.size() + 1);
+    for (const ScoredCandidate& sc : kept) {
+      Seed seed;
+      seed.pattern = *sc.pattern;
+      seed.recall = sc.recall;
+      kernel.Compile(seed.pattern, apt.table);
+      seed.count = view.all_rows
+                       ? kernel.MatchMask(apt.num_rows(), &seed.mask)
+                       : kernel.MatchMask(view.apt_rows_mask,
+                                          view.apt_rows.size(), &seed.mask);
+      seeds.push_back(std::move(seed));
     }
   }
   // The empty pattern seeds numeric-only refinements.
@@ -402,12 +444,12 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     Seed empty;
     empty.recall = 1.0;
     if (view.all_rows) {
-      empty.rows.resize(apt.num_rows());
-      for (size_t r = 0; r < apt.num_rows(); ++r) {
-        empty.rows[r] = static_cast<int32_t>(r);
-      }
+      empty.mask.Reset(apt.num_rows());
+      empty.mask.SetAll();
+      empty.count = apt.num_rows();
     } else {
-      empty.rows = view.apt_rows;
+      empty.mask = view.apt_rows_mask;
+      empty.count = view.apt_rows.size();
     }
     seeds.push_back(std::move(empty));
   }
@@ -423,10 +465,12 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   ctx.numeric_attrs = num_attrs;
   ctx.pool = &pool;
   ctx.scorer = std::move(scorer);
-  // One selection buffer per recursion level; each level adds one numeric
+  ctx.num_rows = apt.num_rows();
+  ctx.pt_identity = pt_identity;
+  // One mask buffer per recursion level; each level adds one numeric
   // predicate, so numeric_attrs.size() + 1 covers the deepest chain. Sizing
   // up front keeps buffer references stable across recursive calls.
-  ctx.row_arena.resize(num_attrs.size() + 1);
+  ctx.mask_arena.resize(num_attrs.size() + 1);
   {
     ScopedStep step(profiler_, "Refine Patterns");
     for (size_t a = 0; a < num_attrs.size(); ++a) {
@@ -435,7 +479,7 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     }
   }
   for (const auto& seed : seeds) {
-    ExpandPattern(ctx, seed.pattern, seed.rows, 0, 0);
+    ExpandPattern(ctx, seed.pattern, seed.mask, seed.count, 0, 0);
     if (ctx.budget_exhausted) break;
   }
   result.patterns_evaluated = ctx.evaluated;
@@ -449,16 +493,20 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   MetricsView full = FullView(apt, classes);
   CoverageScorer full_scorer(classes, full);
   PatternKernel kernel;
-  std::vector<int32_t> match_rows;
+  CoverageBitmap match_mask;
   CoverageBitmap covered;
   for (size_t idx : picked) {
     MinedPattern mp = pool[idx];
     kernel.Compile(mp.pattern, apt.table);
-    kernel.MatchAll(apt.num_rows(), &match_rows);
-    covered.Reset(full_scorer.num_positions());
-    CoverageScorer::CoverageFromRows(match_rows, apt.pt_row, &covered);
-    PatternScores sp = full_scorer.Score(covered, mp.primary);
-    PatternScores so = full_scorer.Score(covered, 1 - mp.primary);
+    kernel.MatchMask(apt.num_rows(), &match_mask);
+    const CoverageBitmap* cov = &match_mask;
+    if (!pt_identity) {
+      covered.Reset(full_scorer.num_positions());
+      CoverageScorer::CoverageFromMask(match_mask, apt.pt_row, &covered);
+      cov = &covered;
+    }
+    PatternScores sp = full_scorer.Score(*cov, mp.primary);
+    PatternScores so = full_scorer.Score(*cov, 1 - mp.primary);
     mp.exact = sp;
     mp.support_primary = sp.tp;
     mp.total_primary = sp.tp + sp.fn;

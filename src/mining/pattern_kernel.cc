@@ -1,13 +1,121 @@
 #include "src/mining/pattern_kernel.h"
 
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
 namespace cajade {
 
 namespace {
 
-/// Shared filter skeleton: `test(row)` decides survival; null rows were
-/// already folded into `test` by the caller.
+/// Below this fill fraction (popcount * kSparseDenominator < num_rows) a
+/// mask refinement iterates set bits with scalar tests instead of running
+/// the full-word pipeline; the crossover sits where ~1.5ns per set bit beats
+/// ~0.3ns per row of vectorized evaluation.
+constexpr uint64_t kSparseDenominator = 8;
+
+/// Multiplier that gathers the low bit of each of 8 bytes into the top byte
+/// of the product: byte i (LSB first) lands on bit i.
+constexpr uint64_t kPackMul = 0x0102040810204080ull;
+
+/// Packs 64 bytes, each 0 or 1, into one word with bit i = b[i].
+inline uint64_t PackBoolBytes(const uint8_t* b) {
+  uint64_t out = 0;
+  for (int k = 0; k < 8; ++k) {
+    uint64_t chunk;
+    std::memcpy(&chunk, b + 8 * k, sizeof(chunk));
+    out |= ((chunk * kPackMul) >> 56) << (8 * k);
+  }
+  return out;
+}
+
+/// Evaluates one full 64-row chunk at `base` into a selection word: the
+/// branch-free compare fills a 0/1 byte per row (auto-vectorizable), the
+/// multiply-pack folds 8 bytes to 8 bits at a time, and NULLs (when the
+/// column has any) fold in by AND-NOT of the packed null bytes. A null
+/// `nulls` pointer is the null-free-chunk fast path.
+template <typename Cmp>
+inline uint64_t EvalFullWord(size_t base, const uint8_t* nulls, Cmp&& cmp) {
+  alignas(64) uint8_t bytes[64];
+  for (size_t i = 0; i < 64; ++i) {
+    bytes[i] = static_cast<uint8_t>(cmp(base + i));
+  }
+  uint64_t m = PackBoolBytes(bytes);
+  if (nulls != nullptr) m &= ~PackBoolBytes(nulls + base);
+  return m;
+}
+
+/// Tail chunk (n < 64 rows); bits at and beyond n stay zero.
+template <typename Cmp>
+inline uint64_t EvalTailWord(size_t base, size_t n, const uint8_t* nulls,
+                             Cmp&& cmp) {
+  uint64_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool ok = cmp(base + i);
+    if (nulls != nullptr) ok = ok && nulls[base + i] == 0;
+    m |= uint64_t{ok} << i;
+  }
+  return m;
+}
+
+/// Dispatches one predicate to its typed value-only compare (the null check
+/// is folded in separately by the mask loops). Must not be called for
+/// kNever — callers special-case it first.
+template <typename Body>
+inline void DispatchValueTest(const CompiledPredicate& p, Body&& body) {
+  using Kind = CompiledPredicate::Kind;
+  switch (p.kind) {
+    case Kind::kIntEq:
+      body([ints = p.ints, c = p.inum](size_t r) { return ints[r] == c; });
+      break;
+    case Kind::kIntLe:
+      body([ints = p.ints, c = p.inum](size_t r) { return ints[r] <= c; });
+      break;
+    case Kind::kIntGe:
+      body([ints = p.ints, c = p.inum](size_t r) { return ints[r] >= c; });
+      break;
+    case Kind::kDoubleEq:
+      body([vals = p.doubles, c = p.num](size_t r) { return vals[r] == c; });
+      break;
+    case Kind::kDoubleLe:
+      body([vals = p.doubles, c = p.num](size_t r) { return vals[r] <= c; });
+      break;
+    case Kind::kDoubleGe:
+      body([vals = p.doubles, c = p.num](size_t r) { return vals[r] >= c; });
+      break;
+    case Kind::kCodeEq:
+      body([codes = p.codes, c = p.code](size_t r) { return codes[r] == c; });
+      break;
+    case Kind::kNever:
+      break;
+  }
+}
+
+/// Shared sparse-mask filter: out[w] = bits of in[w] whose row passes
+/// `test` (every word written, zero words copied as zero), returning the
+/// result's popcount. Alias-safe (out may equal in). Used by every sparse
+/// path so the set-bit iteration subtleties live in one place.
+template <typename TestRowFn>
+inline uint64_t SparseFilterWords(const uint64_t* in, size_t num_words,
+                                  uint64_t* out, TestRowFn&& test) {
+  uint64_t pop = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t word = in[w];
+    uint64_t keep = 0;
+    const size_t base = w * 64;
+    while (word != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctzll(word));
+      word &= word - 1;
+      keep |= uint64_t{test(base + b)} << b;
+    }
+    out[w] = keep;
+    pop += static_cast<uint64_t>(__builtin_popcountll(keep));
+  }
+  return pop;
+}
+
+/// Shared filter skeleton for the reference row-id loops: `test(row)`
+/// decides survival with the null check already folded in by the caller.
 template <typename TestFn>
 inline void FilterLoop(const int32_t* in, size_t n, std::vector<int32_t>* out,
                        TestFn&& test) {
@@ -30,44 +138,24 @@ inline void CompactLoop(std::vector<int32_t>* rows, TestFn&& test) {
   rows->resize(w);
 }
 
-/// Dispatches one predicate to its typed loop; Body is a template functor
-/// over the row test so both the append and compact variants share it.
+/// Row test with the null check folded in, for the reference loops.
 template <typename Body>
 inline void DispatchPredicate(const CompiledPredicate& p, Body&& body) {
-  using Kind = CompiledPredicate::Kind;
-  switch (p.kind) {
-    case Kind::kIntEq:
-      body([&](int32_t r) {
-        return !p.nulls[r] && static_cast<double>(p.ints[r]) == p.num;
-      });
-      break;
-    case Kind::kIntLe:
-      body([&](int32_t r) {
-        return !p.nulls[r] && static_cast<double>(p.ints[r]) <= p.num;
-      });
-      break;
-    case Kind::kIntGe:
-      body([&](int32_t r) {
-        return !p.nulls[r] && static_cast<double>(p.ints[r]) >= p.num;
-      });
-      break;
-    case Kind::kDoubleEq:
-      body([&](int32_t r) { return !p.nulls[r] && p.doubles[r] == p.num; });
-      break;
-    case Kind::kDoubleLe:
-      body([&](int32_t r) { return !p.nulls[r] && p.doubles[r] <= p.num; });
-      break;
-    case Kind::kDoubleGe:
-      body([&](int32_t r) { return !p.nulls[r] && p.doubles[r] >= p.num; });
-      break;
-    case Kind::kCodeEq:
-      body([&](int32_t r) { return !p.nulls[r] && p.codes[r] == p.code; });
-      break;
-    case Kind::kNever:
-      body([](int32_t) { return false; });
-      break;
+  if (p.kind == CompiledPredicate::Kind::kNever) {
+    body([](int32_t) { return false; });
+    return;
   }
+  DispatchValueTest(p, [&](auto&& cmp) {
+    body([&](int32_t r) {
+      return !p.nulls[static_cast<size_t>(r)] && cmp(static_cast<size_t>(r));
+    });
+  });
 }
+
+/// Exact int64 bound for `ints[r] <= c` with a double constant: every int64
+/// <= c iff it is <= floor(c), clamped at the int64 range edges. 2^63 is
+/// exactly representable as a double, so the boundary compares are exact.
+constexpr double kTwoPow63 = 9223372036854775808.0;
 
 }  // namespace
 
@@ -76,6 +164,7 @@ CompiledPredicate CompiledPredicate::Compile(const PatternPredicate& pred,
   CompiledPredicate out;
   const Column& col = table.column(pred.col);
   out.nulls = col.nulls().data();
+  out.col_has_nulls = col.has_nulls();
   switch (col.type()) {
     case DataType::kString:
       if (pred.op != PredOp::kEq || pred.code < 0) {
@@ -86,13 +175,50 @@ CompiledPredicate CompiledPredicate::Compile(const PatternPredicate& pred,
         out.code = pred.code;
       }
       break;
-    case DataType::kInt64:
+    case DataType::kInt64: {
       out.ints = col.ints().data();
       out.num = pred.num;
-      out.kind = pred.op == PredOp::kEq   ? Kind::kIntEq
-                 : pred.op == PredOp::kLe ? Kind::kIntLe
-                                          : Kind::kIntGe;
+      // Exact int64 threshold: an integral constant (the common case — the
+      // miner quotes column values) carries over losslessly; a double
+      // constant converts to the equivalent integer bound. The seed compared
+      // static_cast<double>(ints[r]) against a double, silently equating
+      // distinct int64s beyond 2^53.
+      if (pred.value.is_int()) {
+        out.inum = pred.value.AsInt();
+        out.kind = pred.op == PredOp::kEq   ? Kind::kIntEq
+                   : pred.op == PredOp::kLe ? Kind::kIntLe
+                                            : Kind::kIntGe;
+      } else {
+        const double c = pred.num;
+        if (std::isnan(c)) {
+          out.kind = Kind::kNever;
+        } else if (pred.op == PredOp::kEq) {
+          if (std::floor(c) == c && c >= -kTwoPow63 && c < kTwoPow63) {
+            out.kind = Kind::kIntEq;
+            out.inum = static_cast<int64_t>(c);
+          } else {
+            out.kind = Kind::kNever;  // fractional or out-of-range: no int64
+          }
+        } else if (pred.op == PredOp::kLe) {
+          const double f = std::floor(c);
+          if (f < -kTwoPow63) {
+            out.kind = Kind::kNever;  // below every int64
+          } else {
+            out.kind = Kind::kIntLe;
+            out.inum = f >= kTwoPow63 ? INT64_MAX : static_cast<int64_t>(f);
+          }
+        } else {
+          const double f = std::ceil(c);
+          if (f >= kTwoPow63) {
+            out.kind = Kind::kNever;  // above every int64
+          } else {
+            out.kind = Kind::kIntGe;
+            out.inum = f <= -kTwoPow63 ? INT64_MIN : static_cast<int64_t>(f);
+          }
+        }
+      }
       break;
+    }
     case DataType::kDouble:
       out.doubles = col.doubles().data();
       out.num = pred.num;
@@ -110,6 +236,70 @@ bool CompiledPredicate::Test(int32_t row) const {
   bool result = false;
   DispatchPredicate(*this, [&](auto&& test) { result = test(row); });
   return result;
+}
+
+uint64_t CompiledPredicate::EvalMask(size_t num_rows, uint64_t* out) const {
+  const size_t num_words = CoverageBitmap::NumWords(num_rows);
+  if (kind == Kind::kNever) {
+    std::fill_n(out, num_words, uint64_t{0});
+    return 0;
+  }
+  const uint8_t* null_bytes = col_has_nulls ? nulls : nullptr;
+  uint64_t pop = 0;
+  DispatchValueTest(*this, [&](auto&& cmp) {
+    const size_t full = num_rows / 64;
+    for (size_t w = 0; w < full; ++w) {
+      const uint64_t m = EvalFullWord(w * 64, null_bytes, cmp);
+      out[w] = m;
+      pop += static_cast<uint64_t>(__builtin_popcountll(m));
+    }
+    const size_t tail = num_rows % 64;
+    if (tail != 0) {
+      const uint64_t m = EvalTailWord(full * 64, tail, null_bytes, cmp);
+      out[full] = m;
+      pop += static_cast<uint64_t>(__builtin_popcountll(m));
+    }
+  });
+  return pop;
+}
+
+uint64_t CompiledPredicate::FilterMask(size_t num_rows, const uint64_t* in,
+                                       uint64_t in_popcount,
+                                       uint64_t* out) const {
+  const size_t num_words = CoverageBitmap::NumWords(num_rows);
+  if (kind == Kind::kNever || in_popcount == 0) {
+    std::fill_n(out, num_words, uint64_t{0});
+    return 0;
+  }
+  const uint8_t* null_bytes = col_has_nulls ? nulls : nullptr;
+  uint64_t pop = 0;
+  DispatchValueTest(*this, [&](auto&& cmp) {
+    if (in_popcount * kSparseDenominator < num_rows) {
+      // Sparse input: test only the set bits.
+      pop = SparseFilterWords(in, num_words, out, [&](size_t r) {
+        return cmp(r) && (null_bytes == nullptr || null_bytes[r] == 0);
+      });
+    } else {
+      const size_t full = num_rows / 64;
+      for (size_t w = 0; w < full; ++w) {
+        const uint64_t pw = in[w];
+        const uint64_t m =
+            pw == 0 ? 0 : (pw & EvalFullWord(w * 64, null_bytes, cmp));
+        out[w] = m;
+        pop += static_cast<uint64_t>(__builtin_popcountll(m));
+      }
+      const size_t tail = num_rows % 64;
+      if (tail != 0) {
+        const uint64_t pw = in[full];
+        const uint64_t m =
+            pw == 0 ? 0
+                    : (pw & EvalTailWord(full * 64, tail, null_bytes, cmp));
+        out[full] = m;
+        pop += static_cast<uint64_t>(__builtin_popcountll(m));
+      }
+    }
+  });
+  return pop;
 }
 
 void CompiledPredicate::FilterInto(const std::vector<int32_t>& rows_in,
@@ -137,8 +327,67 @@ void PatternKernel::Compile(const Pattern& pattern, const Table& table) {
   }
 }
 
-void PatternKernel::MatchInto(const std::vector<int32_t>& rows_in,
-                              std::vector<int32_t>* rows_out) const {
+bool PatternKernel::TestRow(int32_t row) const {
+  for (const CompiledPredicate& p : preds_) {
+    if (!p.Test(row)) return false;
+  }
+  return true;
+}
+
+size_t PatternKernel::MatchMask(size_t num_rows, CoverageBitmap* out) const {
+  out->ResetForOverwrite(num_rows);
+  uint64_t* words = out->MutableWords();
+  if (never_matches_) {
+    std::fill_n(words, out->num_words(), uint64_t{0});
+    return 0;
+  }
+  if (preds_.empty()) {
+    out->SetAll();
+    return num_rows;
+  }
+  uint64_t pop = preds_[0].EvalMask(num_rows, words);
+  for (size_t i = 1; i < preds_.size() && pop != 0; ++i) {
+    pop = preds_[i].FilterMask(num_rows, words, pop, words);
+  }
+  return static_cast<size_t>(pop);
+}
+
+size_t PatternKernel::MatchMask(const CoverageBitmap& base,
+                                CoverageBitmap* out) const {
+  return MatchMask(base, base.Popcount(), out);
+}
+
+size_t PatternKernel::MatchMask(const CoverageBitmap& base, size_t base_popcount,
+                                CoverageBitmap* out) const {
+  const size_t num_rows = base.num_bits();
+  out->ResetForOverwrite(num_rows);
+  uint64_t* words = out->MutableWords();
+  if (never_matches_) {
+    std::fill_n(words, out->num_words(), uint64_t{0});
+    return 0;
+  }
+  const uint64_t* base_words = base.words().data();
+  const size_t num_words = out->num_words();
+  if (preds_.empty()) {
+    std::memcpy(words, base_words, num_words * sizeof(uint64_t));
+    return base_popcount;
+  }
+  if (base_popcount * kSparseDenominator < num_rows) {
+    // Sparse base: scalar-test the whole predicate chain per set bit.
+    uint64_t pop = SparseFilterWords(base_words, num_words, words, [&](size_t r) {
+      return TestRow(static_cast<int32_t>(r));
+    });
+    return static_cast<size_t>(pop);
+  }
+  uint64_t pop = preds_[0].FilterMask(num_rows, base_words, base_popcount, words);
+  for (size_t i = 1; i < preds_.size() && pop != 0; ++i) {
+    pop = preds_[i].FilterMask(num_rows, words, pop, words);
+  }
+  return static_cast<size_t>(pop);
+}
+
+void PatternKernel::ReferenceMatchInto(const std::vector<int32_t>& rows_in,
+                                       std::vector<int32_t>* rows_out) const {
   rows_out->clear();
   if (never_matches_) return;
   if (preds_.empty()) {
@@ -151,8 +400,8 @@ void PatternKernel::MatchInto(const std::vector<int32_t>& rows_in,
   }
 }
 
-void PatternKernel::MatchAll(size_t num_rows,
-                             std::vector<int32_t>* rows_out) const {
+void PatternKernel::ReferenceMatchAll(size_t num_rows,
+                                      std::vector<int32_t>* rows_out) const {
   rows_out->clear();
   if (never_matches_) return;
   if (preds_.empty()) {

@@ -49,9 +49,11 @@ MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
     }
   }
   view.apt_rows.reserve(apt.num_rows() / 2);
+  view.apt_rows_mask.Reset(apt.num_rows());
   for (size_t r = 0; r < apt.num_rows(); ++r) {
     if (view.pt_sampled[apt.pt_row[r]]) {
       view.apt_rows.push_back(static_cast<int32_t>(r));
+      view.apt_rows_mask.Set(r);
     }
   }
   return view;
@@ -122,6 +124,14 @@ void CoverageScorer::Build(const PtClasses& classes, const MetricsView& view) {
   }
   n_class_[0] = view.n1;
   n_class_[1] = view.n2;
+}
+
+void CoverageScorer::CoverageFromMask(const CoverageBitmap& rows,
+                                      const std::vector<int32_t>& pt_row,
+                                      CoverageBitmap* covered) {
+  ForEachSetBit(rows.words().data(), rows.num_words(), [&](size_t r) {
+    covered->Set(static_cast<size_t>(pt_row[r]));
+  });
 }
 
 PatternScores CoverageScorer::Score(const CoverageBitmap& covered,

@@ -24,6 +24,10 @@ using PtClasses = std::vector<int8_t>;
 struct MetricsView {
   /// APT rows to scan (ascending). Empty means "all rows".
   std::vector<int32_t> apt_rows;
+  /// The same row set as a bitmask over [0, apt.num_rows()), the base mask
+  /// of the kernels' view-restricted MatchMask path. Empty when `all_rows`
+  /// (the full mask is implicit).
+  CoverageBitmap apt_rows_mask;
   bool all_rows = true;
   /// Per PT position: whether it is in the sample.
   std::vector<uint8_t> pt_sampled;
@@ -88,6 +92,15 @@ class CoverageScorer {
                                CoverageBitmap* covered) {
     for (int32_t r : rows) covered->Set(static_cast<size_t>(pt_row[r]));
   }
+
+  /// Mask-native companion: for every set bit r of `rows` (a match mask
+  /// over APT rows), sets covered bit pt_row[r]. Zero words are skipped, so
+  /// cost tracks the number of matching rows, not the APT size. When
+  /// pt_row is the identity (Apt::PtRowIsIdentity), skip this entirely and
+  /// Score the match mask itself — the mask *is* the coverage set.
+  static void CoverageFromMask(const CoverageBitmap& rows,
+                               const std::vector<int32_t>& pt_row,
+                               CoverageBitmap* covered);
 
  private:
   /// Sampled PT positions of class 0 / class 1.

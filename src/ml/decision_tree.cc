@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
-#include <unordered_set>
+#include <cstring>
 
 namespace cajade {
 
@@ -17,17 +16,38 @@ double Gini(size_t n1, size_t n) {
 
 }  // namespace
 
+/// Reused training storage: one instance serves the whole tree, partition
+/// buffers keyed by depth so a node's right-child rows survive the left
+/// subtree's recursion.
+struct DecisionTree::TrainScratch {
+  std::vector<size_t> sample_idx;        // Fisher-Yates scratch
+  std::vector<int> feats;                // feature subset of the current node
+  std::vector<double> candidates;        // split candidates, collection order
+  std::vector<int64_t> candidate_bits;   // dedup keys (double bit patterns)
+  std::vector<double> values;            // node rows' values, gathered once
+  std::vector<int> labels;               // node rows' labels, gathered once
+  std::vector<size_t> counts;            // per candidate: rows on the left
+  std::vector<size_t> counts1;           // per candidate: class-1 rows left
+  struct Partition {
+    std::vector<int> left, right;
+  };
+  std::vector<Partition> partitions;     // one per depth
+};
+
 void DecisionTree::Train(const FeatureMatrix& data, const std::vector<int>& rows,
                          const TreeOptions& options, Rng* rng,
                          std::vector<double>* importance) {
   nodes_.clear();
+  TrainScratch scratch;
+  scratch.partitions.resize(static_cast<size_t>(options.max_depth) + 1);
   std::vector<int> working = rows;
-  Build(data, working, 0, options, rng, importance, rows.size());
+  Build(data, working, 0, options, rng, importance, rows.size(), scratch);
 }
 
 int DecisionTree::Build(const FeatureMatrix& data, std::vector<int>& rows,
                         int depth, const TreeOptions& options, Rng* rng,
-                        std::vector<double>* importance, size_t total_rows) {
+                        std::vector<double>* importance, size_t total_rows,
+                        TrainScratch& scratch) {
   int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
 
@@ -42,16 +62,16 @@ int DecisionTree::Build(const FeatureMatrix& data, std::vector<int>& rows,
     return node_id;
   }
 
-  // Select feature subset.
+  // Select feature subset (scratch-backed SampleIndicesInto: same draw
+  // sequence as SampleIndices, no per-node allocation).
   size_t p = data.num_features();
-  std::vector<int> feats;
+  std::vector<int>& feats = scratch.feats;
+  feats.clear();
   if (options.features_per_split == 0 || options.features_per_split >= p) {
-    feats.resize(p);
-    std::iota(feats.begin(), feats.end(), 0);
+    for (size_t f = 0; f < p; ++f) feats.push_back(static_cast<int>(f));
   } else {
-    for (size_t i : rng->SampleIndices(p, options.features_per_split)) {
-      feats.push_back(static_cast<int>(i));
-    }
+    rng->SampleIndicesInto(p, options.features_per_split, &scratch.sample_idx);
+    for (size_t i : scratch.sample_idx) feats.push_back(static_cast<int>(i));
   }
 
   double parent_gini = Gini(n1, n);
@@ -60,34 +80,76 @@ int DecisionTree::Build(const FeatureMatrix& data, std::vector<int>& rows,
   double best_threshold = 0.0;
   bool best_categorical = false;
 
+  // Labels depend only on the node's rows — gather once, not per feature.
+  std::vector<int>& labs = scratch.labels;
+  labs.resize(n);
+  for (size_t i = 0; i < n; ++i) labs[i] = data.labels[rows[i]];
+
   for (int f : feats) {
     const std::vector<double>& col = data.columns[f];
     bool cat = data.is_categorical[f];
     // Collect distinct candidate split points from a bounded sample of the
-    // node's rows.
-    std::vector<double> candidates;
-    {
-      std::unordered_set<int64_t> seen;
-      size_t step = std::max<size_t>(1, n / (options.max_candidates * 4));
-      for (size_t i = 0; i < n; i += step) {
-        double v = col[rows[i]];
-        if (std::isnan(v)) continue;
-        int64_t bits;
-        __builtin_memcpy(&bits, &v, sizeof(bits));
-        if (seen.insert(bits).second) candidates.push_back(v);
-        if (candidates.size() >= options.max_candidates) break;
+    // node's rows: same stride, order, and bit-pattern dedup as the seed's
+    // hash set, via a linear scan of the (<= max_candidates) collected bits.
+    std::vector<double>& candidates = scratch.candidates;
+    std::vector<int64_t>& candidate_bits = scratch.candidate_bits;
+    candidates.clear();
+    candidate_bits.clear();
+    size_t step = std::max<size_t>(1, n / (options.max_candidates * 4));
+    for (size_t i = 0; i < n; i += step) {
+      double v = col[rows[i]];
+      if (std::isnan(v)) continue;
+      int64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      if (std::find(candidate_bits.begin(), candidate_bits.end(), bits) ==
+          candidate_bits.end()) {
+        candidate_bits.push_back(bits);
+        candidates.push_back(v);
       }
+      if (candidates.size() >= options.max_candidates) break;
     }
-    for (double c : candidates) {
-      size_t ln = 0, ln1 = 0;
-      for (int r : rows) {
-        double v = col[r];
-        bool left = cat ? (v == c) : (!std::isnan(v) && v <= c);
-        if (left) {
-          ++ln;
-          ln1 += data.labels[r];
+    if (candidates.empty()) continue;
+
+    // All candidates' left-side counts in one branch-free pass over the
+    // node's rows (values and labels gathered once): count[j] += (v <= c_j)
+    // — false for NaN, which is exactly "NaN rows fall right". Counts, and
+    // therefore gains and the chosen split, are exactly those of the
+    // per-candidate row scan this replaces.
+    const size_t k = candidates.size();
+    std::vector<double>& vals = scratch.values;
+    vals.resize(n);
+    for (size_t i = 0; i < n; ++i) vals[i] = col[rows[i]];
+    std::vector<size_t>& counts = scratch.counts;
+    std::vector<size_t>& counts1 = scratch.counts1;
+    counts.assign(k, 0);
+    counts1.assign(k, 0);
+    const double* cand = candidates.data();
+    if (cat) {
+      for (size_t i = 0; i < n; ++i) {
+        const double v = vals[i];
+        const size_t lab = static_cast<size_t>(labs[i]);
+        for (size_t j = 0; j < k; ++j) {
+          const size_t m = v == cand[j] ? 1 : 0;
+          counts[j] += m;
+          counts1[j] += m & lab;
         }
       }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double v = vals[i];
+        const size_t lab = static_cast<size_t>(labs[i]);
+        for (size_t j = 0; j < k; ++j) {
+          const size_t m = v <= cand[j] ? 1 : 0;
+          counts[j] += m;
+          counts1[j] += m & lab;
+        }
+      }
+    }
+
+    for (size_t ci = 0; ci < k; ++ci) {
+      const double c = candidates[ci];
+      size_t ln = counts[ci];
+      size_t ln1 = counts1[ci];
       size_t rn = n - ln;
       if (ln < options.min_samples_leaf || rn < options.min_samples_leaf) continue;
       size_t rn1 = n1 - ln1;
@@ -112,10 +174,12 @@ int DecisionTree::Build(const FeatureMatrix& data, std::vector<int>& rows,
         best_gain * static_cast<double>(n) / static_cast<double>(total_rows);
   }
 
-  // Partition rows.
-  std::vector<int> left_rows, right_rows;
-  left_rows.reserve(n);
-  right_rows.reserve(n);
+  // Partition rows into this depth's arena slot; the left subtree only
+  // touches deeper slots, so right_rows stays intact until its turn.
+  std::vector<int>& left_rows = scratch.partitions[depth].left;
+  std::vector<int>& right_rows = scratch.partitions[depth].right;
+  left_rows.clear();
+  right_rows.clear();
   const std::vector<double>& col = data.columns[best_feature];
   for (int r : rows) {
     double v = col[r];
@@ -123,13 +187,11 @@ int DecisionTree::Build(const FeatureMatrix& data, std::vector<int>& rows,
                                  : (!std::isnan(v) && v <= best_threshold);
     (left ? left_rows : right_rows).push_back(r);
   }
-  rows.clear();
-  rows.shrink_to_fit();
 
   int left_id = Build(data, left_rows, depth + 1, options, rng, importance,
-                      total_rows);
+                      total_rows, scratch);
   int right_id = Build(data, right_rows, depth + 1, options, rng, importance,
-                       total_rows);
+                       total_rows, scratch);
   nodes_[node_id].leaf = false;
   nodes_[node_id].feature = best_feature;
   nodes_[node_id].categorical = best_categorical;

@@ -2,6 +2,17 @@
 // numeric threshold splits (x <= t) and categorical equality splits (x == v).
 // Substrate for the random forest used in attribute relevance filtering
 // (paper Section 3.1).
+//
+// Training is allocation-light: split evaluation gathers the node's values
+// and labels once per feature and accumulates every candidate's left-side
+// class counts in a single branch-free fused pass (instead of one branchy
+// pass over the rows per candidate), candidate dedup is a linear scan over
+// the bounded candidate buffer (instead of a hash set per feature per
+// node), and partition/candidate storage comes from a per-depth scratch
+// arena reused across the whole tree. The chosen splits, importances, and
+// RNG draw sequence are identical to the naive implementation: same
+// candidates in the same order, same exact counts, same
+// strict-improvement tie-breaking.
 
 #ifndef CAJADE_ML_DECISION_TREE_H_
 #define CAJADE_ML_DECISION_TREE_H_
@@ -50,9 +61,11 @@ class DecisionTree {
     int right = -1;
   };
 
+  struct TrainScratch;
+
   int Build(const FeatureMatrix& data, std::vector<int>& rows, int depth,
             const TreeOptions& options, Rng* rng, std::vector<double>* importance,
-            size_t total_rows);
+            size_t total_rows, TrainScratch& scratch);
 
   std::vector<Node> nodes_;
 };

@@ -56,6 +56,7 @@ void Column::AppendNull() {
       break;
   }
   nulls_.push_back(1);
+  ++null_count_;
 }
 
 Status Column::AppendValue(const Value& v) {

@@ -71,12 +71,18 @@ class Column {
   /// Null mask (1 = null), one byte per cell; raw input for columnar kernels.
   const std::vector<uint8_t>& nulls() const { return nulls_; }
 
+  /// Number of null cells, maintained on append. `has_nulls()` gates the
+  /// mask kernels' null-free fast path, which skips the null mask entirely.
+  size_t null_count() const { return null_count_; }
+  bool has_nulls() const { return null_count_ != 0; }
+
  private:
   DataType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<int32_t> codes_;
   std::vector<uint8_t> nulls_;
+  size_t null_count_ = 0;
   std::vector<std::string> dict_;
   std::unordered_map<std::string, int32_t> dict_index_;
 };

@@ -1,11 +1,15 @@
 // Tests for the columnar pattern kernels and bitset coverage scoring:
-// PatternKernel / CompiledPredicate equivalence with the scalar
-// Pattern::Matches loop on randomized tables, and CoverageScorer equivalence
-// with the byte-vector ScoreFromCoverage.
+// bitmask kernels (MatchMask / EvalMask / FilterMask) differentially against
+// the scalar row-id reference path (ReferenceMatchAll / ReferenceMatchInto),
+// the reference path against the scalar Pattern::Matches loop, exact int64
+// threshold semantics beyond 2^53, and CoverageScorer equivalence with the
+// byte-vector ScoreFromCoverage.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -18,17 +22,18 @@
 namespace cajade {
 namespace {
 
-/// Random table with one column of each type, with nulls.
-Table RandomTable(size_t rows, Rng* rng) {
+/// Random table with one column of each type; `null_rate` controls how
+/// NULL-heavy every column is.
+Table RandomTable(size_t rows, Rng* rng, double null_rate = 0.1) {
   Table t("t", Schema({{"i", DataType::kInt64},
                        {"d", DataType::kDouble},
                        {"s", DataType::kString}}));
   for (size_t r = 0; r < rows; ++r) {
-    Value i = rng->Bernoulli(0.1) ? Value::Null()
-                                  : Value(rng->UniformInt(-5, 15));
-    Value d = rng->Bernoulli(0.1) ? Value::Null()
-                                  : Value(rng->Uniform(-2.0, 2.0));
-    Value s = rng->Bernoulli(0.1)
+    Value i = rng->Bernoulli(null_rate) ? Value::Null()
+                                        : Value(rng->UniformInt(-5, 15));
+    Value d = rng->Bernoulli(null_rate) ? Value::Null()
+                                        : Value(rng->Uniform(-2.0, 2.0));
+    Value s = rng->Bernoulli(null_rate)
                   ? Value::Null()
                   : Value("c" + std::to_string(rng->NextBounded(6)));
     t.AppendRow({i, d, s});
@@ -58,7 +63,21 @@ Pattern RandomPattern(const Table& t, Rng* rng) {
   return p;
 }
 
-TEST(PatternKernelTest, MatchAllEqualsScalarLoopRandomized) {
+std::vector<int32_t> MaskToRows(const CoverageBitmap& mask) {
+  std::vector<int32_t> rows;
+  for (size_t i = 0; i < mask.num_bits(); ++i) {
+    if (mask.Test(i)) rows.push_back(static_cast<int32_t>(i));
+  }
+  return rows;
+}
+
+CoverageBitmap RowsToMask(const std::vector<int32_t>& rows, size_t bits) {
+  CoverageBitmap mask(bits);
+  for (int32_t r : rows) mask.Set(static_cast<size_t>(r));
+  return mask;
+}
+
+TEST(PatternKernelTest, ReferenceMatchAllEqualsScalarLoopRandomized) {
   Rng rng(23);
   for (int trial = 0; trial < 30; ++trial) {
     Table t = RandomTable(50 + rng.NextBounded(200), &rng);
@@ -70,12 +89,12 @@ TEST(PatternKernelTest, MatchAllEqualsScalarLoopRandomized) {
       if (p.Matches(t, r)) expected.push_back(static_cast<int32_t>(r));
     }
     std::vector<int32_t> actual;
-    kernel.MatchAll(t.num_rows(), &actual);
+    kernel.ReferenceMatchAll(t.num_rows(), &actual);
     ASSERT_EQ(actual, expected) << "trial " << trial;
   }
 }
 
-TEST(PatternKernelTest, MatchIntoFiltersSelectionVector) {
+TEST(PatternKernelTest, ReferenceMatchIntoFiltersSelectionVector) {
   Rng rng(29);
   for (int trial = 0; trial < 20; ++trial) {
     Table t = RandomTable(100, &rng);
@@ -91,9 +110,80 @@ TEST(PatternKernelTest, MatchIntoFiltersSelectionVector) {
       if (p.Matches(t, static_cast<size_t>(r))) expected.push_back(r);
     }
     std::vector<int32_t> actual;
-    kernel.MatchInto(subset, &actual);
+    kernel.ReferenceMatchInto(subset, &actual);
     ASSERT_EQ(actual, expected) << "trial " << trial;
   }
+}
+
+// The tentpole differential: the bitmask kernels must be bit-identical to
+// the scalar reference path on NULL-heavy columns, across tail sizes
+// (num_rows % 64 != 0), and for both sparse and dense base masks (the two
+// sides of MatchMask's density heuristic).
+TEST(PatternKernelTest, MaskMatchesReferenceRandomizedNullHeavy) {
+  Rng rng(47);
+  const double null_rates[] = {0.0, 0.1, 0.5, 0.95};
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t rows = 1 + rng.NextBounded(420);  // covers <64 and multi-word + tails
+    if (trial % 5 == 0) rows = 64 * (1 + rng.NextBounded(4));  // exact words
+    double null_rate = null_rates[trial % 4];
+    Table t = RandomTable(rows, &rng, null_rate);
+    Pattern p = RandomPattern(t, &rng);
+    PatternKernel kernel(p, t);
+
+    // Full-table: MatchMask vs ReferenceMatchAll.
+    std::vector<int32_t> expected;
+    kernel.ReferenceMatchAll(rows, &expected);
+    CoverageBitmap mask;
+    size_t count = kernel.MatchMask(rows, &mask);
+    ASSERT_EQ(mask.num_bits(), rows);
+    ASSERT_EQ(MaskToRows(mask), expected) << "trial " << trial;
+    ASSERT_EQ(count, expected.size()) << "trial " << trial;
+    ASSERT_EQ(mask.Popcount(), expected.size());
+
+    // View-restricted: sparse (~3%) and dense (~90%) base masks, both
+    // against ReferenceMatchInto on the same row subset.
+    for (double base_rate : {0.03, 0.9}) {
+      std::vector<int32_t> subset;
+      for (size_t r = 0; r < rows; ++r) {
+        if (rng.Bernoulli(base_rate)) subset.push_back(static_cast<int32_t>(r));
+      }
+      CoverageBitmap base = RowsToMask(subset, rows);
+      std::vector<int32_t> expect_subset;
+      kernel.ReferenceMatchInto(subset, &expect_subset);
+      CoverageBitmap out;
+      size_t sub_count = kernel.MatchMask(base, &out);
+      ASSERT_EQ(MaskToRows(out), expect_subset)
+          << "trial " << trial << " base_rate " << base_rate;
+      ASSERT_EQ(sub_count, expect_subset.size());
+    }
+  }
+}
+
+// Entirely-NULL columns produce all-NULL words: every predicate on them
+// matches nothing, on full words and tails alike.
+TEST(PatternKernelTest, AllNullColumnMatchesNothing) {
+  Table t("t", Schema({{"i", DataType::kInt64}, {"d", DataType::kDouble}}));
+  for (size_t r = 0; r < 130; ++r) {  // two full words + a tail
+    t.AppendRow({Value::Null(), Value(1.0)});
+  }
+  for (PredOp op : {PredOp::kEq, PredOp::kLe, PredOp::kGe}) {
+    Pattern p;
+    p = p.Refine(PatternPredicate::Make(t, 0, op, Value(int64_t{0})));
+    PatternKernel kernel(p, t);
+    CoverageBitmap mask;
+    EXPECT_EQ(kernel.MatchMask(t.num_rows(), &mask), 0u);
+    EXPECT_EQ(mask.Popcount(), 0u);
+    std::vector<int32_t> ref;
+    kernel.ReferenceMatchAll(t.num_rows(), &ref);
+    EXPECT_TRUE(ref.empty());
+  }
+  // A null-free column in the same table still matches (the fast path must
+  // not leak between predicates).
+  Pattern p;
+  p = p.Refine(PatternPredicate::Make(t, 1, PredOp::kLe, Value(2.0)));
+  PatternKernel kernel(p, t);
+  CoverageBitmap mask;
+  EXPECT_EQ(kernel.MatchMask(t.num_rows(), &mask), t.num_rows());
 }
 
 TEST(PatternKernelTest, EmptyPatternMatchesEverything) {
@@ -101,15 +191,25 @@ TEST(PatternKernelTest, EmptyPatternMatchesEverything) {
   Table t = RandomTable(40, &rng);
   PatternKernel kernel{Pattern{}, t};
   std::vector<int32_t> rows;
-  kernel.MatchAll(t.num_rows(), &rows);
+  kernel.ReferenceMatchAll(t.num_rows(), &rows);
   ASSERT_EQ(rows.size(), t.num_rows());
   for (size_t r = 0; r < rows.size(); ++r) {
     EXPECT_EQ(rows[r], static_cast<int32_t>(r));
   }
   std::vector<int32_t> subset = {3, 7, 9};
   std::vector<int32_t> out;
-  kernel.MatchInto(subset, &out);
+  kernel.ReferenceMatchInto(subset, &out);
   EXPECT_EQ(out, subset);
+
+  // Mask flavors: full table is all-ones (tail bits zero), view-restricted
+  // copies the base.
+  CoverageBitmap mask;
+  EXPECT_EQ(kernel.MatchMask(t.num_rows(), &mask), t.num_rows());
+  EXPECT_EQ(mask.Popcount(), t.num_rows());
+  CoverageBitmap base = RowsToMask(subset, t.num_rows());
+  CoverageBitmap restricted;
+  EXPECT_EQ(kernel.MatchMask(base, &restricted), subset.size());
+  EXPECT_EQ(MaskToRows(restricted), subset);
 }
 
 TEST(PatternKernelTest, MissingDictionaryConstantMatchesNothing) {
@@ -120,8 +220,58 @@ TEST(PatternKernelTest, MissingDictionaryConstantMatchesNothing) {
   PatternKernel kernel(p, t);
   EXPECT_TRUE(kernel.never_matches());
   std::vector<int32_t> rows;
-  kernel.MatchAll(t.num_rows(), &rows);
+  kernel.ReferenceMatchAll(t.num_rows(), &rows);
   EXPECT_TRUE(rows.empty());
+  CoverageBitmap mask;
+  EXPECT_EQ(kernel.MatchMask(t.num_rows(), &mask), 0u);
+  EXPECT_EQ(mask.num_bits(), t.num_rows());
+  EXPECT_EQ(mask.Popcount(), 0u);
+  CoverageBitmap base(t.num_rows());
+  base.SetAll();
+  EXPECT_EQ(kernel.MatchMask(base, &mask), 0u);
+  EXPECT_EQ(mask.Popcount(), 0u);
+}
+
+// Regression for the >2^53 precision collapse: int64 comparisons run
+// against an exact int64 threshold. The seed cast rows to double, which
+// equates e.g. 2^62 + 1 with 2^62 + 2 (both round to the same double);
+// Pattern::Matches still does, which is exactly why the kernels pin the
+// exact semantics here instead of differentially.
+TEST(PatternKernelTest, HugeInt64ThresholdsAreExact) {
+  const int64_t base = int64_t{1} << 62;
+  Table t("t", Schema({{"i", DataType::kInt64}}));
+  for (int64_t delta : {0, 1, 2, 3}) t.AppendRow({Value(base + delta)});
+  t.AppendRow({Value::Null()});
+
+  auto match = [&](PredOp op, Value v) {
+    Pattern p;
+    p = p.Refine(PatternPredicate::Make(t, 0, op, std::move(v)));
+    PatternKernel kernel(p, t);
+    CoverageBitmap mask;
+    kernel.MatchMask(t.num_rows(), &mask);
+    // Every kernel entry point agrees with the mask.
+    std::vector<int32_t> ref;
+    kernel.ReferenceMatchAll(t.num_rows(), &ref);
+    EXPECT_EQ(MaskToRows(mask), ref);
+    return MaskToRows(mask);
+  };
+
+  // The double domain cannot tell base+1 and base+2 apart; the kernel must.
+  EXPECT_EQ(match(PredOp::kEq, Value(base + 1)), (std::vector<int32_t>{1}));
+  EXPECT_EQ(match(PredOp::kLe, Value(base + 1)), (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(match(PredOp::kGe, Value(base + 2)), (std::vector<int32_t>{2, 3}));
+
+  // Double constants convert to the equivalent exact int64 bound.
+  EXPECT_EQ(match(PredOp::kLe, Value(0.5)), (std::vector<int32_t>{}));
+  EXPECT_EQ(match(PredOp::kGe, Value(0.5)), (std::vector<int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(match(PredOp::kEq, Value(0.5)), (std::vector<int32_t>{}));
+  // Out-of-range constants clamp (Le +huge: all non-null) or never match.
+  EXPECT_EQ(match(PredOp::kLe, Value(1e300)), (std::vector<int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(match(PredOp::kGe, Value(1e300)), (std::vector<int32_t>{}));
+  EXPECT_EQ(match(PredOp::kLe, Value(-1e300)), (std::vector<int32_t>{}));
+  EXPECT_EQ(match(PredOp::kGe, Value(-1e300)), (std::vector<int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(match(PredOp::kEq, Value(std::nan(""))), (std::vector<int32_t>{}));
+  EXPECT_EQ(match(PredOp::kLe, Value(std::nan(""))), (std::vector<int32_t>{}));
 }
 
 TEST(CompiledPredicateTest, ScalarTestAgreesWithPatternMatches) {
@@ -141,6 +291,65 @@ TEST(CompiledPredicateTest, ScalarTestAgreesWithPatternMatches) {
     for (size_t r = 0; r < t.num_rows(); ++r) {
       ASSERT_EQ(cp.Test(static_cast<int32_t>(r)), single.Matches(t, r))
           << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+// EvalMask / FilterMask agree with the scalar Test on every row, including
+// FilterMask's two internal paths (sparse set-bit iteration vs full-word
+// AND) and in-place refinement (out aliasing in).
+TEST(CompiledPredicateTest, MaskKernelsAgreeWithScalarTest) {
+  Rng rng(53);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t rows = 1 + rng.NextBounded(300);
+    Table t = RandomTable(rows, &rng, trial % 2 == 0 ? 0.0 : 0.4);
+    int col = static_cast<int>(rng.NextBounded(3));
+    PredOp op = col == 2 ? PredOp::kEq
+                         : (rng.Bernoulli(0.5) ? PredOp::kLe : PredOp::kGe);
+    Value v = col == 0   ? Value(rng.UniformInt(-5, 15))
+              : col == 1 ? Value(rng.Uniform(-2.0, 2.0))
+                         : Value("c" + std::to_string(rng.NextBounded(6)));
+    CompiledPredicate cp =
+        CompiledPredicate::Compile(PatternPredicate::Make(t, col, op, v), t);
+
+    CoverageBitmap mask;
+    mask.ResetForOverwrite(rows);
+    uint64_t pop = cp.EvalMask(rows, mask.MutableWords());
+    uint64_t expect_pop = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      bool expect = cp.Test(static_cast<int32_t>(r));
+      ASSERT_EQ(mask.Test(r), expect) << "trial " << trial << " row " << r;
+      expect_pop += expect;
+    }
+    ASSERT_EQ(pop, expect_pop);
+    ASSERT_EQ(mask.Popcount(), expect_pop);  // tail bits must be zero
+
+    for (double rate : {0.02, 0.8}) {
+      CoverageBitmap in(rows);
+      uint64_t in_pop = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        if (rng.Bernoulli(rate)) {
+          in.Set(r);
+          ++in_pop;
+        }
+      }
+      const CoverageBitmap original_in = in;
+      CoverageBitmap out;
+      out.ResetForOverwrite(rows);
+      uint64_t out_pop =
+          cp.FilterMask(rows, in.words().data(), in_pop, out.MutableWords());
+      uint64_t in_place_pop =
+          cp.FilterMask(rows, in.MutableWords(), in_pop, in.MutableWords());
+      ASSERT_EQ(out_pop, in_place_pop);
+      ASSERT_EQ(out.words(), in.words());
+      uint64_t expect_out = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        bool expect =
+            original_in.Test(r) && cp.Test(static_cast<int32_t>(r));
+        ASSERT_EQ(out.Test(r), expect) << "row " << r << " rate " << rate;
+        expect_out += expect;
+      }
+      ASSERT_EQ(out_pop, expect_out);
     }
   }
 }
@@ -168,6 +377,29 @@ TEST(CoverageBitmapTest, SetTestPopcount) {
 
   b.Reset(130);
   EXPECT_EQ(b.Popcount(), 0u);
+}
+
+TEST(CoverageBitmapTest, AdoptTakesWordsAndClearsTail) {
+  // 70 bits over 2 words; the adopted tail word carries garbage past bit 5
+  // that Adopt must clear so popcounts stay exact.
+  std::vector<uint64_t> words = {~uint64_t{0}, ~uint64_t{0}};
+  CoverageBitmap b(std::move(words), 70);
+  EXPECT_EQ(b.num_bits(), 70u);
+  EXPECT_EQ(b.num_words(), 2u);
+  EXPECT_EQ(b.Popcount(), 70u);
+  EXPECT_TRUE(b.Test(69));
+
+  CoverageBitmap c;
+  c.Adopt({uint64_t{0b101}}, 3);
+  EXPECT_EQ(c.Popcount(), 2u);
+  EXPECT_TRUE(c.Test(0));
+  EXPECT_FALSE(c.Test(1));
+  EXPECT_TRUE(c.Test(2));
+
+  CoverageBitmap all(70);
+  all.SetAll();
+  EXPECT_EQ(all.Popcount(), 70u);
+  EXPECT_EQ(all.AndPopcount(b), 70u);
 }
 
 TEST(CoverageScorerTest, MatchesByteVectorScoringRandomized) {
@@ -224,6 +456,28 @@ TEST(CoverageScorerTest, CoverageFromRowsMapsAptRowsToPtPositions) {
   CoverageScorer::CoverageFromRows({1}, pt_row, &covered);
   EXPECT_FALSE(covered.Test(0));
   EXPECT_TRUE(covered.Test(1));
+}
+
+TEST(CoverageScorerTest, CoverageFromMaskEqualsCoverageFromRows) {
+  Rng rng(59);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t apt_rows = 1 + rng.NextBounded(400);
+    size_t positions = 1 + rng.NextBounded(100);
+    std::vector<int32_t> pt_row(apt_rows);
+    for (auto& p : pt_row) p = static_cast<int32_t>(rng.NextBounded(positions));
+    std::vector<int32_t> matched;
+    CoverageBitmap mask(apt_rows);
+    for (size_t r = 0; r < apt_rows; ++r) {
+      if (rng.Bernoulli(0.25)) {
+        matched.push_back(static_cast<int32_t>(r));
+        mask.Set(r);
+      }
+    }
+    CoverageBitmap from_rows(positions), from_mask(positions);
+    CoverageScorer::CoverageFromRows(matched, pt_row, &from_rows);
+    CoverageScorer::CoverageFromMask(mask, pt_row, &from_mask);
+    ASSERT_EQ(from_rows.words(), from_mask.words()) << "trial " << trial;
+  }
 }
 
 }  // namespace
