@@ -89,6 +89,14 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   };
   size_t tasks = std::min(threads_.size(), n);
   for (size_t t = 0; t < tasks; ++t) Submit(drain);
+  // The caller drains its own loop too, instead of only waiting. This is
+  // what makes one pool safe to share between concurrent logical callers:
+  // a loop always makes progress on the thread that issued it, even when
+  // every worker is occupied by another caller's iterations — and a
+  // ParallelFor issued from inside a pool task cannot deadlock waiting for
+  // workers that are all blocked the same way. It also means total
+  // concurrency is num_threads() + 1, counting the caller.
+  drain();
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) >= state->n;

@@ -10,6 +10,17 @@
 // results by task id and merge after Wait()/ParallelFor() returns (see
 // Explainer::Explain), so the visible result never depends on the
 // schedule.
+//
+// Multi-caller contract: one pool may be shared by any number of concurrent
+// logical callers (the serving layer runs every request's fan-out on one
+// process-wide pool). Submit is thread-safe; each ParallelFor call is its
+// own task group — a heap-owned iteration counter that workers and the
+// calling thread drain together — so two concurrent loops never exchange
+// iterations and each returns exactly when its own iterations finish.
+// Wait(), by contrast, is pool-global: it blocks until the queue is empty
+// and nothing is in flight, which under concurrent callers means "until
+// everyone's work is done" — prefer ParallelFor's per-group completion in
+// shared-pool code.
 
 #ifndef CAJADE_COMMON_THREAD_POOL_H_
 #define CAJADE_COMMON_THREAD_POOL_H_
@@ -43,13 +54,19 @@ class WorkerPool {
   /// belongs inside the task (record the error, merge after Wait).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished.
+  /// Blocks until every task submitted so far has finished — pool-global,
+  /// across all callers. Not a per-caller barrier: on a shared pool use
+  /// ParallelFor, whose completion is scoped to its own iterations.
   void Wait();
 
   /// Runs fn(0) .. fn(n-1) on the pool and blocks until all calls
   /// returned. Iterations are claimed dynamically (one atomic fetch-add
   /// per iteration), so uneven task costs balance across workers. The
-  /// calling thread only waits; total concurrency is num_threads().
+  /// calling thread participates in draining its own loop, so total
+  /// concurrency is num_threads() + 1, the loop makes progress even when
+  /// every worker is busy with another caller's work, and a ParallelFor
+  /// issued from inside a pool task cannot deadlock. Safe to call from any
+  /// number of threads concurrently; each call completes independently.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Maps the CajadeConfig::num_threads knob onto a concrete thread

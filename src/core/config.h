@@ -84,6 +84,11 @@ struct CajadeConfig {
   /// cache outlives a single Explain call, so this bounds resident state
   /// across requests, not per call.
   size_t apt_prefix_cache_bytes = size_t{256} << 20;  // 256 MiB
+  /// Memory bound of the APT join-index cache in bytes (build-side join
+  /// indexes keyed by table content version; LRU-evicted above it). Like
+  /// the prefix cache this is process-lifetime state under the serving
+  /// layer, bounded across requests.
+  size_t apt_index_cache_bytes = size_t{256} << 20;  // 256 MiB
 
   // ---- Safety bounds (implementation guards, documented in DESIGN.md) -----
   /// Cap on refinement-pattern evaluations per APT.

@@ -82,19 +82,45 @@ Result<ExplainResult> Explainer::Explain(const std::string& sql,
 
 Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
                                          const UserQuestion& question) const {
+  ASSIGN_OR_RETURN(PreparedExplain prepared, Prepare(query, question));
+  return ExplainPrepared(std::move(prepared));
+}
+
+Result<PreparedExplain> Explainer::Prepare(const std::string& sql,
+                                           const UserQuestion& question) const {
+  ASSIGN_OR_RETURN(ParsedQuery query, ParseQuery(sql));
+  return Prepare(query, question);
+}
+
+Result<PreparedExplain> Explainer::Prepare(const ParsedQuery& query,
+                                           const UserQuestion& question) const {
+  PreparedExplain prepared;
+  {
+    ScopedStep step(&prepared.profile, "Compute Provenance");
+    ASSIGN_OR_RETURN(prepared.pt, ComputeProvenance(executor_, query));
+  }
+  RETURN_NOT_OK(ResolveQuestion(prepared.pt, question, &prepared.pt_rows,
+                                &prepared.classes, &prepared.t1_description,
+                                &prepared.t2_description));
+  // Computed unconditionally (not only when the prefix cache wants it): this
+  // is what the serving layer validates cached results against.
+  prepared.pt_fingerprint = AptPtFingerprint(prepared.pt, prepared.pt_rows);
+  return prepared;
+}
+
+Result<ExplainResult> Explainer::ExplainPrepared(
+    PreparedExplain prepared) const {
   ExplainResult out;
   Rng rng(config_.seed);
 
-  // Provenance.
-  ProvenanceTable pt;
-  {
-    ScopedStep step(&out.profile, "Compute Provenance");
-    ASSIGN_OR_RETURN(pt, ComputeProvenance(executor_, query));
+  const ProvenanceTable& pt = prepared.pt;
+  const std::vector<int64_t>& pt_rows = prepared.pt_rows;
+  const PtClasses& classes = prepared.classes;
+  for (const auto& [step, seconds] : prepared.profile.totals()) {
+    out.profile.Add(step, seconds);
   }
-  std::vector<int64_t> pt_rows;
-  PtClasses classes;
-  RETURN_NOT_OK(ResolveQuestion(pt, question, &pt_rows, &classes,
-                                &out.t1_description, &out.t2_description));
+  out.t1_description = prepared.t1_description;
+  out.t2_description = prepared.t2_description;
 
   // Enumerate all valid join graphs up front. Enumeration itself is cheap
   // (graph extension + isValid pruning); the expensive per-graph work
@@ -149,15 +175,19 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
     StepProfiler profile;
   };
   std::vector<GraphOutcome> outcomes(graphs.size());
-  AptIndexCache index_cache;
+  // Build-side join indexes: the process-wide cache when the serving layer
+  // installed one (indexes then survive across requests, keyed by table
+  // content version and evicted by byte budget), a call-local cache
+  // otherwise.
+  AptIndexCache local_index_cache(config_.apt_index_cache_bytes);
   AptMaterializeOptions apt_options = MakeAptOptions();
-  apt_options.index_cache = &index_cache;
+  apt_options.index_cache = shared_index_cache_ != nullptr
+                                ? shared_index_cache_
+                                : &local_index_cache;
   apt_options.row_limit = config_.max_apt_rows;
-  if (apt_options.prefix_cache != nullptr) {
-    // One fingerprint for the whole fan-out: every graph shares this
-    // (pt, pt_rows) pair, so don't re-hash the row selection per graph.
-    apt_options.pt_fingerprint = AptPtFingerprint(pt, pt_rows);
-  }
+  // One fingerprint for the whole fan-out: every graph shares this
+  // (pt, pt_rows) pair, so don't re-hash the row selection per graph.
+  apt_options.pt_fingerprint = prepared.pt_fingerprint;
   // A hard error on any graph stops work on graphs not yet started (the
   // serial path's short-circuit). The merge below reports the error of the
   // lowest-index graph that *fails when executed* — exactly what the serial
@@ -245,6 +275,11 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
   size_t threads = WorkerPool::ResolveThreads(config_.num_threads);
   if (threads <= 1 || graphs.size() <= 1) {
     for (size_t gi = 0; gi < graphs.size(); ++gi) process_graph(gi);
+  } else if (shared_pool_ != nullptr) {
+    // Serving layer: this request's graphs are one task group on the shared
+    // pool; ParallelFor completes when exactly these iterations finish,
+    // independent of other requests' loops in flight on the same workers.
+    shared_pool_->ParallelFor(graphs.size(), process_graph);
   } else {
     WorkerPool pool(std::min(threads, graphs.size()));
     pool.ParallelFor(graphs.size(), process_graph);
@@ -300,7 +335,7 @@ Result<ExplainResult> Explainer::Explain(const ParsedQuery& query,
                    [](const Explanation& a, const Explanation& b) {
                      return a.fscore > b.fscore;
                    });
-  out.query_result = std::move(pt.result);
+  out.query_result = std::move(prepared.pt.result);
   return out;
 }
 
@@ -308,11 +343,17 @@ AptMaterializeOptions Explainer::MakeAptOptions() const {
   AptMaterializeOptions options;
   options.stats = &stats_;
   if (config_.enable_apt_prefix_cache) {
-    // Re-applied per call on purpose: mutable_config() may change the
-    // bound between calls, and this is where it takes effect (shrinking
-    // evicts immediately).
-    prefix_cache_.set_max_bytes(config_.apt_prefix_cache_bytes);
-    options.prefix_cache = &prefix_cache_;
+    if (shared_prefix_cache_ != nullptr) {
+      // Process-wide cache: its byte bound belongs to the owner (the
+      // serving layer), so this Explainer's config bound is not applied.
+      options.prefix_cache = shared_prefix_cache_;
+    } else {
+      // Re-applied per call on purpose: mutable_config() may change the
+      // bound between calls, and this is where it takes effect (shrinking
+      // evicts immediately).
+      prefix_cache_.set_max_bytes(config_.apt_prefix_cache_bytes);
+      options.prefix_cache = &prefix_cache_;
+    }
   }
   return options;
 }

@@ -56,6 +56,8 @@ struct Explanation {
   std::string ToString() const;
 };
 
+class WorkerPool;
+
 /// Result of explaining one user question.
 struct ExplainResult {
   Table query_result;
@@ -73,6 +75,31 @@ struct ExplainResult {
   std::string t2_description;
 };
 
+/// \brief The front half of one Explain call: parsed query resolved into
+/// provenance plus the question's PT row classes.
+///
+/// Produced by Explainer::Prepare and consumed by ExplainPrepared. The
+/// split exists for the serving layer: `pt_fingerprint` is a content hash
+/// of exactly the state the expensive back half depends on, so ExplainServer
+/// runs Prepare on every request and uses the fingerprint to decide whether
+/// a cached result is still valid — a hit skips enumeration, APT
+/// materialization, and mining, while any base-table change that alters the
+/// selected provenance flips the fingerprint and forces recomputation.
+struct PreparedExplain {
+  ProvenanceTable pt;
+  std::vector<int64_t> pt_rows;  ///< PT rows the question selects (sorted)
+  PtClasses classes;             ///< 0 = t1's provenance, 1 = t2's
+  std::string t1_description;
+  std::string t2_description;
+  /// AptPtFingerprint(pt, pt_rows): stable content hash of the provenance
+  /// restricted to the question. Equal fingerprints imply bit-identical
+  /// explanations for a fixed config and seed.
+  std::string pt_fingerprint;
+  /// Front-half timings ("Compute Provenance"); ExplainPrepared folds these
+  /// into the result's profile.
+  StepProfiler profile;
+};
+
 /// \brief End-to-end explanation engine.
 ///
 /// With CajadeConfig::num_threads != 1, candidate join graphs are
@@ -84,10 +111,11 @@ struct ExplainResult {
 /// other entry points) mutate shared per-instance state — the executor's
 /// and the enumeration stats catalogs' single-stream tiers — without
 /// locking, as the executor has documented since it became a member. Run
-/// concurrent requests on separate Explainers; the serving layer's
-/// per-request fan-in will do exactly that (the APT caches it needs to
-/// share — AptIndexCache, AptPrefixCache, StatsCatalog::SharedRanges — are
-/// the concurrency-safe pieces already).
+/// concurrent requests on separate Explainers — ExplainServer keeps a lease
+/// pool of them — and point them at the process-wide concurrency-safe
+/// pieces via set_shared_pool / set_shared_index_cache /
+/// set_shared_prefix_cache, so every request draws on one WorkerPool and
+/// one set of byte-bounded caches instead of per-instance copies.
 class Explainer {
  public:
   Explainer(const Database* db, const SchemaGraph* schema_graph,
@@ -101,6 +129,36 @@ class Explainer {
   /// Explains a pre-parsed query.
   Result<ExplainResult> Explain(const ParsedQuery& query,
                                 const UserQuestion& question) const;
+
+  /// Front half of Explain: provenance computation plus question
+  /// resolution. Cheap relative to the mining back half; the serving layer
+  /// calls it per request to obtain the result-cache validation
+  /// fingerprint.
+  Result<PreparedExplain> Prepare(const std::string& sql,
+                                  const UserQuestion& question) const;
+  Result<PreparedExplain> Prepare(const ParsedQuery& query,
+                                  const UserQuestion& question) const;
+
+  /// Back half of Explain: join-graph enumeration, APT materialization,
+  /// mining, and global ranking. Consumes `prepared` (the query result
+  /// moves into the returned ExplainResult). Explain(sql, question) is
+  /// exactly Prepare + ExplainPrepared.
+  Result<ExplainResult> ExplainPrepared(PreparedExplain prepared) const;
+
+  /// Serving-layer hooks: run the per-graph fan-out on a shared pool /
+  /// share the build-index and prefix caches across Explainers instead of
+  /// per-call or per-instance state. The pointees must outlive this
+  /// Explainer and be concurrency-safe (WorkerPool::ParallelFor,
+  /// AptIndexCache, and AptPrefixCache all are); byte bounds of shared
+  /// caches belong to their owner — this Explainer's config bounds are not
+  /// re-applied to them. nullptr restores the default behavior.
+  void set_shared_pool(WorkerPool* pool) { shared_pool_ = pool; }
+  void set_shared_index_cache(AptIndexCache* cache) {
+    shared_index_cache_ = cache;
+  }
+  void set_shared_prefix_cache(AptPrefixCache* cache) {
+    shared_prefix_cache_ = cache;
+  }
 
   /// Mines a single caller-supplied join graph (used by the sampling and
   /// ET-comparison experiments that fix one APT).
@@ -143,6 +201,11 @@ class Explainer {
   /// Explain calls — keyed by graph prefix, LRU-bounded by
   /// CajadeConfig::apt_prefix_cache_bytes.
   mutable AptPrefixCache prefix_cache_{config_.apt_prefix_cache_bytes};
+  /// Serving-layer shared state (see the setters above); own members /
+  /// per-call state are used while these stay null.
+  WorkerPool* shared_pool_ = nullptr;
+  AptIndexCache* shared_index_cache_ = nullptr;
+  AptPrefixCache* shared_prefix_cache_ = nullptr;
 };
 
 /// Removes near-duplicate explanations: keeps the best-scoring instance of

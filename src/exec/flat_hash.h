@@ -88,6 +88,14 @@ class FlatMultiMap {
   /// Distinct hashes present.
   size_t distinct_keys() const { return used_slots_; }
 
+  /// Approximate heap footprint (slot array + entry chains + payload runs).
+  size_t ApproxBytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           entries_.capacity() * sizeof(Entry) +
+           payloads_.capacity() * sizeof(int64_t) +
+           entry_slots_.capacity() * sizeof(int32_t);
+  }
+
  private:
   struct Slot {
     uint64_t hash = 0;

@@ -942,6 +942,13 @@ bool JoinBuildIndex::Probe(const std::vector<ProbeKeyCol>& probe, size_t n_probe
   return true;
 }
 
+size_t JoinBuildIndex::ApproxBytes() const {
+  return plans_.capacity() * sizeof(ColPlan) +
+         cols_.capacity() * sizeof(int) +
+         dense_offsets_.capacity() * sizeof(int32_t) +
+         dense_rows_.capacity() * sizeof(int64_t) + flat_.ApproxBytes();
+}
+
 std::vector<std::pair<int64_t, int64_t>> ReferenceHashEquiJoin(
     const Table& left, const std::vector<int64_t>& left_rows, const Table& right,
     const std::vector<int64_t>& right_rows, const JoinKeySpec& keys) {

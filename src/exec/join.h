@@ -18,6 +18,26 @@
 //    probes need no equality re-check;
 //  - everything else (DOUBLE or cross-type keys, oversized ranges): canonical
 //    row-key hashes into the flat table with per-entry verification.
+//
+// Contracts (load-bearing for every caller, from the executor to the
+// serving layer):
+//  - NULL semantics: a NULL key cell never matches — not even NULL vs NULL,
+//    and not as a middle column of a composite key. Enforced by explicit
+//    guards in every layout (never by hash-sentinel coincidence), on tree
+//    edges and cycle-closing filters alike. GROUP BY deliberately differs
+//    (NULLs form one group); that divergence lives in the executor.
+//  - Ownership: JoinBuildIndex borrows the build table — it stores raw
+//    column pointers and never copies payloads. The table must outlive the
+//    index and must not be mutated while the index exists; version-keyed
+//    caches (AptIndexCache) enforce this by keying on
+//    Table::content_version().
+//  - Thread safety: a fully constructed JoinBuildIndex is immutable;
+//    Probe() is const and safe to call from any number of threads
+//    concurrently. Construction is not synchronized — build on one thread,
+//    share afterwards (the caches do this behind a shared_future).
+//  - Determinism: matches are emitted grouped by probe index in ascending
+//    order, and within one probe tuple in build-row order, regardless of
+//    layout. Downstream explanation ranking relies on this stability.
 
 #ifndef CAJADE_EXEC_JOIN_H_
 #define CAJADE_EXEC_JOIN_H_
@@ -176,6 +196,12 @@ class JoinBuildIndex {
   size_t size() const { return size_; }
 
   const std::vector<int>& columns() const { return cols_; }
+
+  /// Approximate heap footprint of the index structures (dense offsets/rows,
+  /// flat-table slots and entries, per-column plans) — the unit of the
+  /// byte-accounted LRU bound on AptIndexCache. Excludes the borrowed build
+  /// table.
+  size_t ApproxBytes() const;
 
  private:
   enum class Layout {

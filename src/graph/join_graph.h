@@ -1,6 +1,26 @@
 // Join graphs (paper Definition 3): node- and edge-labeled undirected
 // multigraphs describing one way of augmenting the provenance table with
 // context relations. Node 0 is always the distinguished PT node.
+//
+// This header also owns the canonical materialization plan for a graph:
+// PlanAptSteps orders edges breadth-first from the PT node (tree edges as
+// joins, cycle-closing edges as post-join filters), and AptStepSignature
+// renders one step as a canonical string. Signatures key the process-wide
+// AptPrefixCache, so they must identify a step's *semantics* exactly: they
+// include the node label (not just the relation name — #k occurrence
+// suffixes depend on the rest of the graph), the schema condition, and the
+// join direction. Two graphs share a cached join state iff their step
+// signature prefixes match.
+//
+// Ownership and thread-safety: a JoinGraph is a plain value type holding
+// indexes into the SchemaGraph it was enumerated from — it borrows nothing,
+// but is only meaningful alongside that schema graph, which must outlive
+// any use of DescribeEdges/PlanAptSteps. Construction (AddNode/AddEdge) is
+// single-threaded; once built, graphs are immutable in practice and safe
+// to read from many workers, which is how the per-graph Explain fan-out
+// uses them. NULL semantics live downstream: the join steps planned here
+// are executed by JoinBuildIndex probes, where NULL keys never match (not
+// even NULL vs NULL, including middle columns of composite keys).
 
 #ifndef CAJADE_GRAPH_JOIN_GRAPH_H_
 #define CAJADE_GRAPH_JOIN_GRAPH_H_

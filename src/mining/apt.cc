@@ -235,7 +235,7 @@ Result<AptJoinState> ApplyAptStep(const AptJoinState& in, const AptStep& step,
     stats_hold = ctx.stats->SharedRanges(*base);
     base_stats = stats_hold.get();
   }
-  const AptIndexCache::Index& index =
+  AptIndexCache::IndexPtr index =
       ctx.index_cache->Get(*base, keys.right_cols, base_stats);
 
   std::vector<int64_t> probe_rows(cur.num_rows());
@@ -246,7 +246,7 @@ Result<AptJoinState> ApplyAptStep(const AptJoinState& in, const AptStep& step,
 
   std::vector<std::pair<int64_t, int64_t>> matches;
   matches.reserve(cur.num_rows());
-  if (!index.Probe(probe, cur.num_rows(), ctx.row_limit, &matches)) {
+  if (!index->Probe(probe, cur.num_rows(), ctx.row_limit, &matches)) {
     return Status::OutOfRange(
         Format("APT exceeds row limit %zu for join graph %s", ctx.row_limit,
                ctx.graph->Describe().c_str()));
@@ -308,69 +308,108 @@ FlatMultiMap BuildReferenceIndex(const Table& base, const std::vector<int>& cols
 
 }  // namespace
 
-const AptIndexCache::Index& AptIndexCache::Get(const Table& base,
-                                               const std::vector<int>& cols,
-                                               const TableStats* stats) {
+void AptIndexCache::EvictOverLimitLocked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = map_.find(victim);
+    // Only Ready entries live in the LRU list, so the lookup always hits.
+    bytes_ -= it->second->bytes;
+    it->second->in_lru = false;
+    map_.erase(it);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AptIndexCache::set_max_bytes(size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  EvictOverLimitLocked();
+}
+
+size_t AptIndexCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_bytes_;
+}
+
+size_t AptIndexCache::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
+                                           const std::vector<int>& cols,
+                                           const TableStats* stats) {
+  // The content version in the key is the invalidation mechanism: mutating
+  // (or replacing) a base table re-keys its indexes, and the stale entries
+  // age out through the LRU bound.
   std::string key = base.name();
+  key += '@';
+  key += std::to_string(base.content_version());
   for (int c : cols) {
     key += '|';
     key += std::to_string(c);
   }
-  Shard& shard = shards_[std::hash<std::string>{}(key) % kNumShards];
 
   std::shared_ptr<Entry> entry;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
       entry = it->second;
     } else {
       entry = std::make_shared<Entry>();
       entry->ready = entry->ready_promise.get_future().share();
-      shard.map.emplace(std::move(key), entry);
+      map_.emplace(key, entry);
       builder = true;
     }
   }
   if (!builder) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     // Built already or being built by another thread; the future's
     // release/acquire pair orders the build's writes before our reads.
     // get() (not wait()) rethrows a builder failure instead of returning
     // a half-built index.
     entry->ready.get();
-    return *entry->index;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
+    return entry->index;
   }
 
   try {
-    entry->index = std::make_unique<Index>(base, cols, stats);
+    entry->index = std::make_shared<const Index>(base, cols, stats);
   } catch (...) {
-    // Without this, waiters on the entry would block forever (the promise
-    // would never be fulfilled). They see the same exception instead.
+    // Drop the entry so a later call retries, then release waiters with
+    // the same exception (without this they would block forever — the
+    // promise would never be fulfilled).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.erase(key);
+    }
     entry->ready_promise.set_exception(std::current_exception());
     throw;
   }
+  entry->bytes = entry->index->ApproxBytes() + key.size();
   builds_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.push_front(key);
+    entry->lru_it = lru_.begin();
+    entry->in_lru = true;
+    bytes_ += entry->bytes;
+    // May evict the entry just inserted when it alone exceeds the bound;
+    // the returned shared_ptr keeps the index alive for this caller.
+    EvictOverLimitLocked();
+  }
   entry->ready_promise.set_value();
-  return *entry->index;
+  return entry->index;
 }
 
 // ---- AptPrefixCache ---------------------------------------------------------
 
 size_t AptPrefixCache::ApproxStateBytes(const AptJoinState& state) {
-  size_t bytes = state.pt_row.size() * sizeof(int32_t);
-  for (size_t c = 0; c < state.table.num_columns(); ++c) {
-    const Column& col = state.table.column(c);
-    bytes += col.ints().size() * sizeof(int64_t);
-    bytes += col.doubles().size() * sizeof(double);
-    bytes += col.codes().size() * sizeof(int32_t);
-    bytes += col.nulls().size();
-    for (size_t d = 0; d < col.dict_size(); ++d) {
-      // String payload plus per-entry bookkeeping (dictionary vector slot
-      // and index map node).
-      bytes += col.DictEntry(static_cast<int32_t>(d)).size() + 48;
-    }
-  }
-  return bytes;
+  return state.pt_row.size() * sizeof(int32_t) + state.table.ApproxBytes();
 }
 
 void AptPrefixCache::EvictOverLimitLocked() {

@@ -46,23 +46,41 @@ namespace cajade {
 /// packed composite-key layouts sized from the StatsCatalog range tier when
 /// one is threaded through Get, so index builds never rescan key ranges.
 ///
-/// Safe for concurrent use from the parallel explainer: the key map is
-/// sharded across mutexes, and each entry is built exactly once behind a
+/// Designed to live process-wide under the serving layer (one cache shared
+/// by every request, like AptPrefixCache):
+///  - keys embed Table::content_version(), so a mutated or replaced base
+///    table can never be served a stale index — old-version entries simply
+///    age out of the LRU;
+///  - resident bytes are bounded (ApproxBytes-accounted, LRU-evicted above
+///    `max_bytes`), mirroring the prefix cache's accounting. Eviction only
+///    drops the cache's reference — Get returns shared_ptr, so a caller
+///    probing an index keeps it alive regardless.
+///
+/// Safe for concurrent use: each entry is built exactly once behind a
 /// std::shared_future — two join graphs sharing a build side neither race
 /// nor duplicate the build (the second caller blocks until the first
-/// finishes). Returned Index references are stable for the cache's
-/// lifetime (entries are heap-owned and never evicted).
+/// finishes); a failed build is propagated to all waiters and dropped so a
+/// later call retries.
 class AptIndexCache {
  public:
   using Index = JoinBuildIndex;
+  using IndexPtr = std::shared_ptr<const Index>;
 
-  /// Index of `base` on `cols` (built on first use). The base table must
-  /// outlive the cache entry's use. `stats` (the full `base` table's
-  /// statistics; the range tier suffices) sizes the typed layout without a
-  /// key-range rescan — it only needs to stay valid for the duration of the
-  /// call, and does not affect probe results (only build cost).
-  const Index& Get(const Table& base, const std::vector<int>& cols,
-                   const TableStats* stats = nullptr);
+  static constexpr size_t kDefaultMaxBytes = size_t{256} << 20;  // 256 MiB
+
+  explicit AptIndexCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Index of `base` (at its current content version) on `cols`, built on
+  /// first use. The base table must outlive the returned index and must not
+  /// be mutated while it is probed — MarkMutated-style version bumps after
+  /// this call are fine (they key future lookups), concurrent mutation is
+  /// not. `stats` (the full `base` table's statistics; the range tier
+  /// suffices) sizes the typed layout without a key-range rescan — it only
+  /// needs to stay valid for the duration of the call, and does not affect
+  /// probe results (only build cost).
+  IndexPtr Get(const Table& base, const std::vector<int>& cols,
+               const TableStats* stats = nullptr);
 
   /// Number of indexes actually built (not lookups); a concurrent stress
   /// test asserts this equals the number of distinct keys requested.
@@ -70,20 +88,39 @@ class AptIndexCache {
     return builds_.load(std::memory_order_relaxed);
   }
 
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Adjusts the memory bound, evicting LRU entries if now over it.
+  void set_max_bytes(size_t max_bytes);
+  size_t max_bytes() const;
+  /// Bytes held by cached indexes (JoinBuildIndex::ApproxBytes accounting).
+  size_t bytes_in_use() const;
+
  private:
   struct Entry {
-    std::unique_ptr<Index> index;
+    /// Published before ready is fulfilled; null when the build failed.
+    IndexPtr index;
     std::promise<void> ready_promise;
     std::shared_future<void> ready;
-  };
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+    size_t bytes = 0;
+    bool in_lru = false;
+    std::list<std::string>::iterator lru_it;
   };
 
-  static constexpr size_t kNumShards = 16;
-  Shard shards_[kNumShards];
+  void EvictOverLimitLocked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  /// Most-recently-used first; holds only Ready entries.
+  std::list<std::string> lru_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::atomic<size_t> hits_{0};
   std::atomic<size_t> builds_{0};
+  std::atomic<size_t> evictions_{0};
 };
 
 /// \brief One materialization state: the partial (or final) APT after some

@@ -13,6 +13,15 @@
 // ReferenceMatchInto / ReferenceMatchAll: the differential-testing oracle
 // and bench baseline, mirroring ReferenceExecuteSpj / ReferenceMaterializeApt.
 //
+// Ownership and thread-safety: a compiled kernel borrows raw pointers into
+// the table's column storage — the table must outlive the kernel and must
+// not be mutated (appended to, dictionary-extended) while any kernel built
+// on it is live. Kernels hold no mutable state after Compile, so one
+// compiled PatternKernel may be matched from many threads concurrently;
+// compiling is cheap enough that the miner instead compiles per pattern
+// per worker. Output masks/buffers are caller-owned and must not be shared
+// across concurrent Match calls.
+//
 // Kernels are exactly equivalent to the scalar Pattern::Matches loop except
 // for one deliberate fix: INT64 comparisons run against an exact int64
 // threshold (derived from the predicate's constant), where Pattern::Matches

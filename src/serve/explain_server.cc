@@ -1,0 +1,188 @@
+#include "src/serve/explain_server.h"
+
+#include <functional>
+#include <utility>
+
+namespace cajade {
+
+namespace {
+
+/// Serializes the result-affecting CajadeConfig fields. Perf-only knobs
+/// (thread counts, cache bounds, the prefix-cache toggle) are deliberately
+/// excluded: results are bit-identical across them, so including them would
+/// only split cache entries that could be shared.
+std::string SerializeResultConfig(const CajadeConfig& c) {
+  std::string s;
+  auto add = [&s](double v) {
+    s += std::to_string(v);
+    s += ';';
+  };
+  add(c.max_join_graph_edges);
+  add(c.sel_attr);
+  add(c.max_numeric_attrs);
+  add(c.pat_sample_rate);
+  add(static_cast<double>(c.pat_sample_cap));
+  add(c.f1_sample_rate);
+  add(c.recall_threshold);
+  add(c.num_fragments);
+  add(c.cost_threshold);
+  add(c.top_k);
+  add(c.k_cat);
+  add(c.enable_feature_selection);
+  add(c.enable_recall_pruning);
+  add(c.enable_diversity);
+  add(c.enable_cost_pruning);
+  add(c.enable_pk_pruning);
+  add(c.pk_check_strict);
+  add(c.include_pt_only_graph);
+  add(c.forest_trees);
+  add(c.forest_max_depth);
+  add(static_cast<double>(c.forest_row_cap));
+  add(c.cluster_threshold);
+  add(static_cast<double>(c.cluster_row_cap));
+  add(static_cast<double>(c.refinement_budget));
+  add(static_cast<double>(c.refinement_row_budget));
+  add(static_cast<double>(c.max_apt_rows));
+  add(static_cast<double>(c.seed));
+  return s;
+}
+
+}  // namespace
+
+/// RAII lease of one Explainer from the idle list; blocks in the
+/// constructor until one is available.
+///
+/// Granting is FIFO *and* a direct handoff: a released Explainer goes
+/// straight to the front waiter, and only that waiter's private condition
+/// variable is signaled. Both halves matter for tail latency under
+/// closed-loop load on few cores:
+///  - FIFO, because with a bare shared condition variable a client that
+///    just released a lease is still on-CPU and re-acquires it before the
+///    woken waiter is even scheduled — waiters starve for a scheduler
+///    quantum at a time (multi-millisecond p99 on sub-millisecond
+///    requests).
+///  - One targeted wakeup, because a broadcast wakes every waiter per
+///    handoff just so all but one can fail the predicate and sleep again;
+///    on a single core each of those futile wakeups preempts the thread
+///    doing the actual work, adding jittery context-switch overhead to
+///    every request in the queue.
+class ExplainServer::ExplainerLease {
+ public:
+  explicit ExplainerLease(ExplainServer* server) : server_(server) {
+    std::unique_lock<std::mutex> lock(server_->lease_mu_);
+    // Invariant: idle_ is non-empty only while waiters_ is empty (a release
+    // with queued waiters hands off directly and never lands in idle_), so
+    // taking from idle_ here cannot barge in front of an earlier waiter.
+    if (!server_->idle_.empty()) {
+      explainer_ = server_->idle_.back();
+      server_->idle_.pop_back();
+      return;
+    }
+    LeaseWaiter self;
+    server_->waiters_.push_back(&self);
+    self.cv.wait(lock, [&] { return self.granted != nullptr; });
+    explainer_ = self.granted;
+  }
+
+  ~ExplainerLease() {
+    std::unique_lock<std::mutex> lock(server_->lease_mu_);
+    if (!server_->waiters_.empty()) {
+      LeaseWaiter* next = server_->waiters_.front();
+      server_->waiters_.pop_front();
+      next->granted = explainer_;
+      // Notify while holding the lock: the waiter owns `next` on its stack
+      // and may destroy it as soon as its wait() returns, which can only
+      // happen after we release lease_mu_.
+      next->cv.notify_one();
+    } else {
+      server_->idle_.push_back(explainer_);
+    }
+  }
+
+  ExplainerLease(const ExplainerLease&) = delete;
+  ExplainerLease& operator=(const ExplainerLease&) = delete;
+
+  Explainer* operator->() const { return explainer_; }
+
+ private:
+  ExplainServer* server_;
+  Explainer* explainer_;
+};
+
+ExplainServer::ExplainServer(const Database* db,
+                             const SchemaGraph* schema_graph, Options options)
+    : db_(db),
+      schema_graph_(schema_graph),
+      options_(options),
+      config_hash_(std::to_string(
+          std::hash<std::string>{}(SerializeResultConfig(options.config)))),
+      pool_(WorkerPool::ResolveThreads(options.pool_threads)),
+      index_cache_(options.index_cache_bytes),
+      prefix_cache_(options.prefix_cache_bytes),
+      result_cache_(options.result_cache_bytes) {
+  if (options_.num_explainers < 1) options_.num_explainers = 1;
+  explainers_.reserve(options_.num_explainers);
+  idle_.reserve(options_.num_explainers);
+  for (size_t i = 0; i < options_.num_explainers; ++i) {
+    auto e = std::make_unique<Explainer>(db_, schema_graph_, options_.config);
+    e->set_shared_pool(&pool_);
+    e->set_shared_index_cache(&index_cache_);
+    e->set_shared_prefix_cache(&prefix_cache_);
+    idle_.push_back(e.get());
+    explainers_.push_back(std::move(e));
+  }
+}
+
+std::string ExplainServer::CacheKey(const std::string& sql,
+                                    const UserQuestion& question) const {
+  // '\x1f' (unit separator) never occurs in SQL or selector renderings, so
+  // the key is unambiguous without escaping.
+  std::string key = sql;
+  key += '\x1f';
+  key += question.t1.ToString();
+  key += '\x1f';
+  key += question.t2.ToString();
+  key += '\x1f';
+  key += config_hash_;
+  return key;
+}
+
+Result<std::shared_ptr<const ExplainResult>> ExplainServer::Explain(
+    const std::string& sql, const UserQuestion& question) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ExplainerLease lease(this);
+
+  // Front half on every request, cached or not: provenance + question
+  // resolution produce the fingerprint that decides whether a cached
+  // result is still valid. This is the validation-by-recompute design —
+  // hit latency is one provenance computation, never a stale answer.
+  ASSIGN_OR_RETURN(PreparedExplain prepared, lease->Prepare(sql, question));
+
+  if (!options_.enable_result_cache) {
+    ASSIGN_OR_RETURN(ExplainResult result,
+                     lease->ExplainPrepared(std::move(prepared)));
+    return std::make_shared<const ExplainResult>(std::move(result));
+  }
+
+  std::string fingerprint = prepared.pt_fingerprint;
+  return result_cache_.GetOrCompute(
+      CacheKey(sql, question), fingerprint,
+      [&]() { return lease->ExplainPrepared(std::move(prepared)); });
+}
+
+ExplainServer::Counters ExplainServer::counters() const {
+  Counters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.result_hits = result_cache_.hits();
+  c.result_misses = result_cache_.misses();
+  c.result_invalidations = result_cache_.invalidations();
+  c.result_evictions = result_cache_.evictions();
+  c.index_hits = index_cache_.hits();
+  c.index_builds = index_cache_.num_builds();
+  c.index_evictions = index_cache_.evictions();
+  c.prefix_hits = prefix_cache_.hits();
+  c.prefix_builds = prefix_cache_.builds();
+  return c;
+}
+
+}  // namespace cajade

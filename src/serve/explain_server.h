@@ -1,0 +1,160 @@
+// The serving layer: a thread-safe front end that accepts concurrent
+// Explain requests against one shared set of process-wide resources.
+//
+// One ExplainServer owns
+//  - one WorkerPool shared by every request (each request's per-join-graph
+//    fan-out is its own ParallelFor task group on that pool — requests
+//    interleave at iteration granularity, never a pool per request);
+//  - one AptIndexCache and one AptPrefixCache, hoisted from per-Explainer
+//    state to process-wide state so requests reuse each other's join
+//    indexes and APT prefix states (both byte-bounded, LRU-evicted, and
+//    invalidation-safe via Table::content_version keys);
+//  - one ResultCache keyed by (query, question, config) and validated by
+//    provenance content fingerprint, so a repeated question costs one
+//    provenance computation instead of a mining run — and goes stale the
+//    moment a base-table change alters the provenance it was mined from;
+//  - a lease pool of Explainers (the engine itself is single-request-stream;
+//    concurrency comes from running up to `num_explainers` of them at once
+//    against the shared caches).
+//
+// bench/bench_load.cc drives this class with closed-loop clients and a
+// zipfian question mix; docs/SERVING.md walks through the knobs.
+
+#ifndef CAJADE_SERVE_EXPLAIN_SERVER_H_
+#define CAJADE_SERVE_EXPLAIN_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/core/config.h"
+#include "src/core/explainer.h"
+#include "src/core/question.h"
+#include "src/graph/schema_graph.h"
+#include "src/mining/apt.h"
+#include "src/serve/result_cache.h"
+#include "src/storage/database.h"
+
+namespace cajade {
+
+/// \brief Thread-safe concurrent Explain front end over one database.
+///
+/// Explain() may be called from any number of client threads at once; at
+/// most Options::num_explainers requests run concurrently (excess callers
+/// block for a lease, preserving request order only loosely — this is a
+/// closed-loop building block, not a queue with fairness guarantees).
+///
+/// The database and schema graph must outlive the server and must not be
+/// mutated while a request is in flight. Mutating them *between* requests
+/// is supported and is exactly what the caches are keyed for: the next
+/// request recomputes provenance, sees a changed fingerprint, and
+/// invalidates its cached result, while stale join indexes age out of the
+/// LRU by content version.
+class ExplainServer {
+ public:
+  struct Options {
+    /// Engine configuration applied to every Explainer in the lease pool.
+    /// `num_threads` sets the per-request fan-out width on the shared pool
+    /// (1 keeps requests serial internally — usually right when
+    /// num_explainers already saturates the cores); the per-instance cache
+    /// byte bounds are superseded by the shared bounds below.
+    CajadeConfig config;
+    /// Maximum concurrently running requests (= Explainer instances).
+    size_t num_explainers = 4;
+    /// Shared WorkerPool width; 0 = hardware concurrency.
+    int pool_threads = 0;
+    /// Byte bounds of the process-wide caches.
+    size_t result_cache_bytes = ResultCache::kDefaultMaxBytes;
+    size_t index_cache_bytes = AptIndexCache::kDefaultMaxBytes;
+    size_t prefix_cache_bytes = AptPrefixCache::kDefaultMaxBytes;
+    /// Serve repeated (query, question) pairs from the result cache
+    /// (fingerprint-validated). Off = every request mines.
+    bool enable_result_cache = true;
+  };
+
+  /// Aggregated serving counters (monotonic since construction).
+  struct Counters {
+    size_t requests = 0;
+    size_t result_hits = 0;
+    size_t result_misses = 0;
+    size_t result_invalidations = 0;
+    size_t result_evictions = 0;
+    size_t index_hits = 0;
+    size_t index_builds = 0;
+    size_t index_evictions = 0;
+    size_t prefix_hits = 0;
+    size_t prefix_builds = 0;
+  };
+
+  ExplainServer(const Database* db, const SchemaGraph* schema_graph,
+                Options options);
+  /// Default options. (A separate overload, not a default argument: a
+  /// nested class's member initializers are not usable as a default
+  /// argument inside its enclosing class.)
+  ExplainServer(const Database* db, const SchemaGraph* schema_graph)
+      : ExplainServer(db, schema_graph, Options()) {}
+
+  /// Explains `sql` for `question`. Thread-safe. Blocks while all
+  /// Explainers are leased. The result is shared with the cache (and with
+  /// concurrent identical requests) — hence const.
+  Result<std::shared_ptr<const ExplainResult>> Explain(
+      const std::string& sql, const UserQuestion& question);
+
+  Counters counters() const;
+  const Options& options() const { return options_; }
+
+  ResultCache& result_cache() { return result_cache_; }
+  AptIndexCache& index_cache() { return index_cache_; }
+  AptPrefixCache& prefix_cache() { return prefix_cache_; }
+  WorkerPool& pool() { return pool_; }
+
+  /// The result-cache key of one request; exposed for tests asserting
+  /// hit/miss behavior against specific keys.
+  std::string CacheKey(const std::string& sql,
+                       const UserQuestion& question) const;
+
+ private:
+  class ExplainerLease;
+
+  const Database* db_;
+  const SchemaGraph* schema_graph_;
+  Options options_;
+  /// Hash of the result-affecting config fields, baked into every cache
+  /// key so servers with different configs never alias entries (e.g. in
+  /// tests sharing one process).
+  std::string config_hash_;
+
+  WorkerPool pool_;
+  AptIndexCache index_cache_;
+  AptPrefixCache prefix_cache_;
+  ResultCache result_cache_;
+
+  /// Lease pool: idle Explainers, guarded by lease_mu_. Explainers are
+  /// created eagerly at construction and only ever borrowed, so pointers
+  /// handed to leases stay valid for the server's lifetime. Blocked
+  /// acquirers queue in waiters_ (stack-allocated nodes, FIFO) and a
+  /// released Explainer is handed directly to the front waiter with one
+  /// targeted wakeup — see ExplainerLease for why both the fairness and
+  /// the single wakeup matter for tail latency.
+  std::vector<std::unique_ptr<Explainer>> explainers_;
+  struct LeaseWaiter {
+    std::condition_variable cv;
+    Explainer* granted = nullptr;
+  };
+  std::mutex lease_mu_;
+  std::vector<Explainer*> idle_;
+  std::deque<LeaseWaiter*> waiters_;
+
+  std::atomic<size_t> requests_{0};
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_SERVE_EXPLAIN_SERVER_H_

@@ -1,0 +1,131 @@
+// Request-level result cache for the serving layer: complete ranked
+// explanation lists keyed by (query, question, config) and validated by
+// provenance content fingerprint.
+//
+// The cache deliberately does NOT trust its keys across data changes. A key
+// only says "same request"; whether the cached answer is still right depends
+// on the base tables, so every entry records the AptPtFingerprint of the
+// provenance it was computed from, and every lookup presents the fingerprint
+// the current request just computed (ExplainServer runs Explainer::Prepare —
+// provenance + question resolution, the cheap front half — on every request).
+// Equal fingerprints imply bit-identical explanations for a fixed config and
+// seed, so a hit can skip enumeration, APT materialization, and mining; a
+// mismatch means some base-table change altered the selected provenance, and
+// the entry is invalidated on the spot.
+
+#ifndef CAJADE_SERVE_RESULT_CACHE_H_
+#define CAJADE_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/core/explainer.h"
+
+namespace cajade {
+
+/// \brief Fingerprint-validated LRU cache of ExplainResults.
+///
+/// Mirrors the engine caches (AptIndexCache, AptPrefixCache): each key is
+/// computed at most once concurrently behind a std::shared_future — N
+/// clients asking the same question at the same time produce one mining run
+/// and N-1 waiters — resident bytes are bounded (ApproxResultBytes-accounted,
+/// LRU-evicted above `max_bytes`), failures are propagated to all waiters
+/// and never cached, and eviction or invalidation only drops the cache's
+/// reference (callers hold results by shared_ptr).
+///
+/// Safe for concurrent use from any number of threads.
+class ResultCache {
+ public:
+  using ResultPtr = std::shared_ptr<const ExplainResult>;
+
+  static constexpr size_t kDefaultMaxBytes = size_t{64} << 20;  // 64 MiB
+
+  explicit ResultCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Returns the result cached under `key`, computing it via `compute` on
+  /// first use (at most one computation per key across threads; concurrent
+  /// callers block until it finishes and share its result).
+  ///
+  /// `fingerprint` is the caller's just-computed provenance fingerprint. An
+  /// existing entry is served only when its recorded fingerprint matches;
+  /// otherwise the entry — even one still being computed from now-stale
+  /// data — is invalidated and this call recomputes. A failed compute is
+  /// reported to every waiter and not cached, so a later call retries.
+  Result<ResultPtr> GetOrCompute(
+      const std::string& key, const std::string& fingerprint,
+      const std::function<Result<ExplainResult>()>& compute);
+
+  /// Adjusts the memory bound, evicting LRU entries if now over it.
+  void set_max_bytes(size_t max_bytes);
+  size_t max_bytes() const;
+  /// Bytes held by cached results (ApproxResultBytes accounting).
+  size_t bytes_in_use() const;
+
+  /// Lookups served from a valid entry (including waiters that latched onto
+  /// an in-flight computation).
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Lookups that ran `compute` (absent key, or invalidated entry).
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Entries dropped because their fingerprint no longer matched — i.e.
+  /// base-table changes observed through the cache. Every invalidation is
+  /// also counted as a miss.
+  size_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate heap footprint of a result (query-result column buffers +
+  /// explanation strings); the unit of the cache's byte accounting.
+  static size_t ApproxResultBytes(const ExplainResult& result);
+
+ private:
+  struct Entry {
+    std::promise<void> ready_promise;
+    std::shared_future<void> ready;
+    /// Fingerprint of the provenance the computation started from; fixed at
+    /// insertion so validation never waits on the computation.
+    std::string fingerprint;
+    /// Published before ready is fulfilled; null when the compute failed.
+    ResultPtr result;
+    Status status = Status::OK();
+    /// A compute exception, rethrown to waiters so the surfaced error never
+    /// depends on which request won the compute race.
+    std::exception_ptr exception;
+    size_t bytes = 0;
+    bool in_lru = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictOverLimitLocked();
+  /// Removes `entry` from the map (and LRU accounting, if present) iff it
+  /// is still the entry the map holds under `key`; a computation that was
+  /// invalidated mid-flight must not displace its replacement.
+  void DetachIfCurrentLocked(const std::string& key,
+                             const std::shared_ptr<Entry>& entry);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  /// Most-recently-used first; holds only Ready entries.
+  std::list<std::string> lru_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> invalidations_{0};
+  std::atomic<size_t> evictions_{0};
+};
+
+}  // namespace cajade
+
+#endif  // CAJADE_SERVE_RESULT_CACHE_H_

@@ -101,7 +101,12 @@ TableStats ComputeTableRanges(const Table& table) {
 
 size_t StatsCatalog::CombinedNdv(const Table& table,
                                  const std::vector<int>& cols) {
+  // The content version in the key invalidates on table mutation; dead
+  // versions linger until the catalog is discarded, bounded by mutation
+  // count (combined-ndv entries are one size_t each).
   std::string key = table.name();
+  key += '@';
+  key += std::to_string(table.content_version());
   for (int c : cols) {
     key += '|';
     key += std::to_string(c);
@@ -131,7 +136,7 @@ size_t StatsCatalog::CombinedNdvByName(const Table& table,
 
 const TableStats& StatsCatalog::Get(const Table& table) {
   auto it = cache_.find(table.name());
-  if (it != cache_.end() && it->second.rows == table.num_rows()) {
+  if (it != cache_.end() && it->second.version == table.content_version()) {
     if (it->second.full) return it->second.stats;
     // Upgrade a range-only entry in place (same TableStats object, so
     // previously returned references stay valid).
@@ -139,7 +144,7 @@ const TableStats& StatsCatalog::Get(const Table& table) {
     it->second.full = true;
     return it->second.stats;
   }
-  Entry entry{table.num_rows(), /*full=*/true, ComputeTableStats(table)};
+  Entry entry{table.content_version(), /*full=*/true, ComputeTableStats(table)};
   auto [pos, _] = cache_.insert_or_assign(table.name(), std::move(entry));
   return pos->second.stats;
 }
@@ -149,7 +154,7 @@ std::shared_ptr<const TableStats> StatsCatalog::SharedRanges(
   {
     std::lock_guard<std::mutex> lock(shared_mu_);
     auto it = shared_ranges_.find(table.name());
-    if (it != shared_ranges_.end() && it->second.rows == table.num_rows()) {
+    if (it != shared_ranges_.end() && it->second.version == table.content_version()) {
       return it->second.stats;
     }
   }
@@ -159,20 +164,20 @@ std::shared_ptr<const TableStats> StatsCatalog::SharedRanges(
   auto stats = std::make_shared<const TableStats>(ComputeTableRanges(table));
   std::lock_guard<std::mutex> lock(shared_mu_);
   auto it = shared_ranges_.find(table.name());
-  if (it != shared_ranges_.end() && it->second.rows == table.num_rows()) {
+  if (it != shared_ranges_.end() && it->second.version == table.content_version()) {
     return it->second.stats;
   }
   shared_ranges_.insert_or_assign(table.name(),
-                                  SharedEntry{table.num_rows(), stats});
+                                  SharedEntry{table.content_version(), stats});
   return stats;
 }
 
 const TableStats& StatsCatalog::GetRanges(const Table& table) {
   auto it = cache_.find(table.name());
-  if (it != cache_.end() && it->second.rows == table.num_rows()) {
+  if (it != cache_.end() && it->second.version == table.content_version()) {
     return it->second.stats;  // a full entry serves range queries too
   }
-  Entry entry{table.num_rows(), /*full=*/false, ComputeTableRanges(table)};
+  Entry entry{table.content_version(), /*full=*/false, ComputeTableRanges(table)};
   auto [pos, _] = cache_.insert_or_assign(table.name(), std::move(entry));
   return pos->second.stats;
 }

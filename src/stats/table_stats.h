@@ -51,7 +51,12 @@ TableStats ComputeTableStats(const Table& table);
 /// cheaper than ComputeTableStats on wide tables. `ndv` fields stay 0.
 TableStats ComputeTableRanges(const Table& table);
 
-/// \brief Cache of table statistics keyed by table name + row count.
+/// \brief Cache of table statistics keyed by table name + content version.
+///
+/// Entries are validated against Table::content_version(), so any mutation
+/// (or a table replaced wholesale through Database::ReplaceTable) recomputes
+/// on next access instead of serving stale statistics — the property that
+/// lets one catalog live process-wide under a serving layer.
 ///
 /// Get/GetRanges/CombinedNdv serve one caller stream at a time (the executor
 /// wraps its catalog in a mutex; the enumerator runs serially). SharedRanges
@@ -88,7 +93,7 @@ class StatsCatalog {
 
  private:
   struct Entry {
-    size_t rows;
+    uint64_t version;  ///< Table::content_version() at computation time
     bool full;  ///< distinct counts present (ComputeTableStats vs Ranges)
     TableStats stats;
   };
@@ -96,7 +101,7 @@ class StatsCatalog {
   std::unordered_map<std::string, size_t> combined_ndv_;
 
   struct SharedEntry {
-    size_t rows;
+    uint64_t version;
     std::shared_ptr<const TableStats> stats;
   };
   std::mutex shared_mu_;

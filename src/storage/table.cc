@@ -1,11 +1,34 @@
 #include "src/storage/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "src/common/string_util.h"
 
 namespace cajade {
+
+uint64_t Table::NextContentVersion() {
+  // Starts at 1 so 0 can mean "no version observed yet" in cache entries.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Column& col : columns_) {
+    bytes += col.ints().size() * sizeof(int64_t);
+    bytes += col.doubles().size() * sizeof(double);
+    bytes += col.codes().size() * sizeof(int32_t);
+    bytes += col.nulls().size();
+    for (size_t d = 0; d < col.dict_size(); ++d) {
+      // String payload plus per-entry bookkeeping (dictionary vector slot
+      // and index map node).
+      bytes += col.DictEntry(static_cast<int32_t>(d)).size() + 48;
+    }
+  }
+  return bytes;
+}
 
 Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {
@@ -34,6 +57,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
     RETURN_NOT_OK(columns_[i].AppendValue(row[i]));
   }
   ++num_rows_;
+  MarkMutated();
   return Status::OK();
 }
 
@@ -61,6 +85,7 @@ void Table::AppendRowFrom(const Table& src, size_t row) {
     }
   }
   ++num_rows_;
+  MarkMutated();
 }
 
 std::string Table::ToString(size_t limit) const {

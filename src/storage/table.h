@@ -3,6 +3,7 @@
 #ifndef CAJADE_STORAGE_TABLE_H_
 #define CAJADE_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,24 +53,53 @@ class Table {
 
   /// Declares the row count after columns were filled directly (column-wise
   /// builders). All columns must already hold exactly `n` cells.
-  void SetRowCount(size_t n) { num_rows_ = n; }
+  void SetRowCount(size_t n) {
+    num_rows_ = n;
+    MarkMutated();
+  }
 
   /// Moves the columns out (the table becomes empty); used to re-label a
   /// working table as a provenance table without copying data.
   std::vector<Column> TakeColumns() {
     num_rows_ = 0;
+    MarkMutated();
     return std::move(columns_);
   }
+
+  /// Process-unique content stamp: a fresh value is drawn from a global
+  /// monotonic counter at construction and after every mutating operation
+  /// (AppendRow/AppendRowFrom/SetRowCount/TakeColumns), so two observations
+  /// of equal versions on the same table imply unchanged content, and a
+  /// replaced table (Database::ReplaceTable builds a new object) never
+  /// reuses a version either. Caches that outlive one request — the
+  /// process-wide join-index cache, the statistics catalog — key on
+  /// (name, content_version) to invalidate on base-table change. Copies
+  /// keep the source's version (identical content) and diverge on their
+  /// first own mutation.
+  uint64_t content_version() const { return content_version_; }
+
+  /// Re-stamps the version. Callers that mutate cells through the non-const
+  /// column() accessor must call this afterwards, or version-keyed caches
+  /// will serve stale state.
+  void MarkMutated() { content_version_ = NextContentVersion(); }
+
+  /// Approximate heap footprint of the column data (value buffers, null
+  /// bytes, dictionary payloads + per-entry bookkeeping); the unit of the
+  /// byte accounting used by the LRU-bounded caches.
+  size_t ApproxBytes() const;
 
   /// Renders the first `limit` rows as an aligned ASCII table (debugging,
   /// examples).
   std::string ToString(size_t limit = 20) const;
 
  private:
+  static uint64_t NextContentVersion();
+
   std::string name_;
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  uint64_t content_version_ = NextContentVersion();
 };
 
 using TablePtr = std::shared_ptr<Table>;

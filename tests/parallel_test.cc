@@ -75,6 +75,52 @@ TEST(WorkerPoolTest, ResolveThreads) {
   EXPECT_GE(WorkerPool::ResolveThreads(0), 1u);  // hardware concurrency
 }
 
+// Regression test for the shared-pool serving contract: several logical
+// callers issue ParallelFor loops on ONE pool concurrently. Each loop must
+// complete exactly its own iterations (task groups never interleave state)
+// and every call must return — with a pool this small and loops this large,
+// any caller that only waited instead of draining its own loop would make
+// this flaky-slow, and the pre-fix deadlock (all workers busy with other
+// callers' loops, nested callers waiting forever) hangs it outright.
+TEST(WorkerPoolTest, ConcurrentCallersShareOnePool) {
+  WorkerPool pool(2);
+  constexpr int kCallers = 4;
+  constexpr size_t kN = 500;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kN, [&, c](size_t i) {
+        hits[c][i].fetch_add(1, std::memory_order_relaxed);
+      });
+      // The loop's own iterations are all done the moment ParallelFor
+      // returns, regardless of the other callers still in flight.
+      for (size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[c][i].load(), 1) << "caller " << c << " index " << i;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+}
+
+// A ParallelFor issued from inside a pool task (a nested fan-out) must not
+// deadlock even when the outer loop occupies every worker: the nested
+// caller drains its own iterations.
+TEST(WorkerPoolTest, NestedParallelForDoesNotDeadlock) {
+  WorkerPool pool(2);
+  std::atomic<int> inner_done{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) {
+      inner_done.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
 // ---- Parallel explainer determinism ----------------------------------------
 
 constexpr const char* kQ1 =
@@ -169,8 +215,8 @@ TEST(AptIndexCacheTest, ConcurrentGetsBuildEachIndexOnce) {
 
   AptIndexCache cache;
   std::atomic<bool> failed{false};
-  std::vector<const AptIndexCache::Index*> first_seen(
-      tables.size() * col_sets.size(), nullptr);
+  std::vector<AptIndexCache::IndexPtr> first_seen(
+      tables.size() * col_sets.size());
   std::mutex first_seen_mu;
 
   auto worker = [&](int tid) {
@@ -180,15 +226,15 @@ TEST(AptIndexCacheTest, ConcurrentGetsBuildEachIndexOnce) {
         // on different shards.
         size_t t = (ti + static_cast<size_t>(tid)) % tables.size();
         for (size_t ci = 0; ci < col_sets.size(); ++ci) {
-          const AptIndexCache::Index& idx = cache.Get(tables[t], col_sets[ci]);
-          if (idx.size() != tables[t].num_rows()) failed.store(true);
+          AptIndexCache::IndexPtr idx = cache.Get(tables[t], col_sets[ci]);
+          if (idx->size() != tables[t].num_rows()) failed.store(true);
           std::lock_guard<std::mutex> lock(first_seen_mu);
-          const AptIndexCache::Index*& slot =
+          AptIndexCache::IndexPtr& slot =
               first_seen[t * col_sets.size() + ci];
           if (slot == nullptr) {
-            slot = &idx;
-          } else if (slot != &idx) {
-            failed.store(true);  // reference moved: entry not stable
+            slot = idx;
+          } else if (slot != idx) {
+            failed.store(true);  // a second build: entry not shared
           }
         }
       }
@@ -207,19 +253,19 @@ TEST(AptIndexCacheTest, ConcurrentGetsBuildEachIndexOnce) {
 TEST(AptIndexCacheTest, CachedIndexProbesCorrectly) {
   Table t = MakeKeyedTable("probe", 1000, 10);  // 100 rows per key
   AptIndexCache cache;
-  const AptIndexCache::Index& idx = cache.Get(t, {0});
-  EXPECT_EQ(idx.size(), 1000u);
+  AptIndexCache::IndexPtr idx = cache.Get(t, {0});
+  EXPECT_EQ(idx->size(), 1000u);
   // Probe with one tuple whose key is row 7's: all 100 rows of that key, in
   // ascending build-row order.
   std::vector<int64_t> probe_rows = {7};
   std::vector<std::pair<int64_t, int64_t>> matches;
-  EXPECT_TRUE(idx.Probe({{&t.column(0), &probe_rows}}, 1, 0, &matches));
+  EXPECT_TRUE(idx->Probe({{&t.column(0), &probe_rows}}, 1, 0, &matches));
   EXPECT_EQ(matches.size(), 100u);
   for (size_t i = 1; i < matches.size(); ++i) {
     EXPECT_LT(matches[i - 1].second, matches[i].second);
   }
   // Second Get returns the same index without rebuilding.
-  EXPECT_EQ(&cache.Get(t, {0}), &idx);
+  EXPECT_EQ(cache.Get(t, {0}).get(), idx.get());
   EXPECT_EQ(cache.num_builds(), 1u);
 }
 

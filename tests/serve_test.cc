@@ -1,0 +1,223 @@
+// Serving-layer tests: ExplainServer request flow and the ResultCache
+// contract — hit/miss accounting, fingerprint invalidation when a base
+// table changes, byte-bound eviction, and the bit-identical
+// cached-vs-uncached guarantee at several thread counts. The TSan CI job
+// runs this binary, so the concurrent-client scenarios double as race
+// detectors over the shared pool and process-wide caches.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/explainer.h"
+#include "src/datasets/example_nba.h"
+#include "src/serve/explain_server.h"
+
+namespace cajade {
+namespace {
+
+constexpr const char* kQ1 =
+    "SELECT winner AS team, season, count(*) AS win "
+    "FROM game g WHERE winner = 'GSW' GROUP BY winner, season";
+
+UserQuestion TwoPointQuestion() {
+  return UserQuestion::TwoPoint(Where({{"season", Value("2015-16")}}),
+                                Where({{"season", Value("2012-13")}}));
+}
+
+UserQuestion SinglePointQuestion() {
+  return UserQuestion::SinglePoint(Where({{"season", Value("2015-16")}}));
+}
+
+void ExpectSameExplanations(const ExplainResult& a, const ExplainResult& b) {
+  ASSERT_EQ(a.explanations.size(), b.explanations.size());
+  for (size_t i = 0; i < a.explanations.size(); ++i) {
+    const Explanation& ea = a.explanations[i];
+    const Explanation& eb = b.explanations[i];
+    EXPECT_EQ(ea.join_graph, eb.join_graph) << "rank " << i;
+    EXPECT_EQ(ea.pattern, eb.pattern) << "rank " << i;
+    EXPECT_EQ(ea.primary, eb.primary) << "rank " << i;
+    EXPECT_EQ(ea.fscore, eb.fscore) << "rank " << i;
+    EXPECT_EQ(ea.precision, eb.precision) << "rank " << i;
+    EXPECT_EQ(ea.recall, eb.recall) << "rank " << i;
+    EXPECT_EQ(ea.support_primary, eb.support_primary) << "rank " << i;
+    EXPECT_EQ(ea.support_other, eb.support_other) << "rank " << i;
+  }
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeExampleNbaDatabase().ValueOrDie();
+    schema_graph_ = MakeExampleNbaSchemaGraph(db_).ValueOrDie();
+  }
+
+  ExplainServer::Options BaseOptions() const {
+    ExplainServer::Options options;
+    options.num_explainers = 2;
+    options.pool_threads = 2;
+    return options;
+  }
+
+  Database db_;
+  SchemaGraph schema_graph_;
+};
+
+TEST_F(ServeTest, RepeatedRequestHitsResultCache) {
+  ExplainServer server(&db_, &schema_graph_, BaseOptions());
+  auto first = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  auto second = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  // A hit shares the exact cached object, not a recomputed copy.
+  EXPECT_EQ(first.get(), second.get());
+  auto c = server.counters();
+  EXPECT_EQ(c.requests, 2u);
+  EXPECT_EQ(c.result_misses, 1u);
+  EXPECT_EQ(c.result_hits, 1u);
+  EXPECT_EQ(c.result_invalidations, 0u);
+  ASSERT_FALSE(first->explanations.empty());
+}
+
+TEST_F(ServeTest, DistinctQuestionsGetDistinctEntries) {
+  ExplainServer server(&db_, &schema_graph_, BaseOptions());
+  auto two_point = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  auto single = server.Explain(kQ1, SinglePointQuestion()).ValueOrDie();
+  EXPECT_NE(server.CacheKey(kQ1, TwoPointQuestion()),
+            server.CacheKey(kQ1, SinglePointQuestion()));
+  EXPECT_NE(two_point.get(), single.get());
+  auto c = server.counters();
+  EXPECT_EQ(c.result_misses, 2u);
+  EXPECT_EQ(c.result_hits, 0u);
+}
+
+TEST_F(ServeTest, BaseTableChangeFlipsFingerprintAndInvalidates) {
+  ExplainServer server(&db_, &schema_graph_, BaseOptions());
+  auto before = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  int64_t wins_before = before->query_result.GetValue(0, 2).AsInt() +
+                        before->query_result.GetValue(1, 2).AsInt();
+
+  // One more GSW win in 2015-16: the provenance the question selects
+  // changes, so the cached result must not be served again.
+  TablePtr game = db_.GetTable("game").ValueOrDie();
+  ASSERT_TRUE(game->AppendRow({Value(int64_t{2016}), Value(int64_t{6}),
+                               Value(int64_t{30}), Value("GSW"), Value("CLE"),
+                               Value(int64_t{120}), Value(int64_t{100}),
+                               Value("GSW"), Value("2015-16")})
+                  .ok());
+
+  auto after = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  EXPECT_NE(before.get(), after.get());
+  int64_t wins_after = after->query_result.GetValue(0, 2).AsInt() +
+                       after->query_result.GetValue(1, 2).AsInt();
+  EXPECT_EQ(wins_after, wins_before + 1);
+  auto c = server.counters();
+  EXPECT_EQ(c.result_invalidations, 1u);
+  EXPECT_EQ(c.result_misses, 2u);
+  EXPECT_EQ(c.result_hits, 0u);
+
+  // The new result is cached under the new fingerprint.
+  auto again = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  EXPECT_EQ(after.get(), again.get());
+  EXPECT_EQ(server.counters().result_hits, 1u);
+}
+
+TEST_F(ServeTest, TinyByteBoundEvictsButStaysCorrect) {
+  ExplainServer::Options options = BaseOptions();
+  options.result_cache_bytes = 1;  // nothing fits: every insert evicts
+  ExplainServer server(&db_, &schema_graph_, options);
+
+  auto first = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  auto second = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  // Both requests recomputed (the entry never survives), both correct.
+  ExpectSameExplanations(*first, *second);
+  auto c = server.counters();
+  EXPECT_EQ(c.result_misses, 2u);
+  EXPECT_EQ(c.result_hits, 0u);
+  EXPECT_GE(c.result_evictions, 2u);
+  EXPECT_EQ(server.result_cache().bytes_in_use(), 0u);
+}
+
+TEST_F(ServeTest, CachedMatchesUncachedAtEveryThreadCount) {
+  // Reference: a plain single-stream Explainer, fully serial.
+  Explainer reference(&db_, &schema_graph_);
+  auto expected = reference.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+
+  for (int threads : {1, 4, 8}) {
+    ExplainServer::Options options;
+    options.config.num_threads = threads;
+    options.pool_threads = threads;
+    options.num_explainers = 2;
+
+    ExplainServer cached(&db_, &schema_graph_, options);
+    options.enable_result_cache = false;
+    ExplainServer uncached(&db_, &schema_graph_, options);
+
+    (void)cached.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+    auto from_cache = cached.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+    auto recomputed = uncached.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+    EXPECT_EQ(cached.counters().result_hits, 1u) << threads << " threads";
+
+    ExpectSameExplanations(expected, *from_cache);
+    ExpectSameExplanations(expected, *recomputed);
+  }
+}
+
+TEST_F(ServeTest, ConcurrentClientsShareCachesAndPool) {
+  ExplainServer::Options options;
+  options.num_explainers = 4;
+  options.pool_threads = 4;
+  options.config.num_threads = 2;
+  ExplainServer server(&db_, &schema_graph_, options);
+
+  Explainer reference(&db_, &schema_graph_);
+  auto expected_two = reference.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  auto expected_single =
+      reference.Explain(kQ1, SinglePointQuestion()).ValueOrDie();
+
+  constexpr int kClients = 8;
+  constexpr int kIters = 3;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kIters; ++i) {
+        bool two_point = (c + i) % 2 == 0;
+        auto result = server.Explain(
+            kQ1, two_point ? TwoPointQuestion() : SinglePointQuestion());
+        if (!result.ok()) {
+          ++failures[c];
+          continue;
+        }
+        const ExplainResult& expected =
+            two_point ? expected_two : expected_single;
+        if (result.ValueOrDie()->explanations.size() !=
+            expected.explanations.size()) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  auto counters = server.counters();
+  EXPECT_EQ(counters.requests, static_cast<size_t>(kClients * kIters));
+  // Two distinct keys were ever computed; everything else hit or latched
+  // onto an in-flight computation.
+  EXPECT_EQ(counters.result_hits + counters.result_misses,
+            static_cast<size_t>(kClients * kIters));
+  EXPECT_GE(counters.result_hits, counters.result_misses);
+
+  // Full-detail determinism check on the final cached objects.
+  ExpectSameExplanations(
+      expected_two, *server.Explain(kQ1, TwoPointQuestion()).ValueOrDie());
+  ExpectSameExplanations(
+      expected_single,
+      *server.Explain(kQ1, SinglePointQuestion()).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace cajade

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docs link checker: fails on dead relative links in README.md and docs/.
+
+Scans markdown inline links [text](target) and bare reference definitions
+[label]: target. External targets (http/https/mailto) and pure in-page
+anchors (#...) are skipped; everything else is resolved relative to the
+containing file and must exist in the working tree. Directory targets are
+allowed (e.g. a link to docs/). Fragments are stripped before the
+existence check — anchor validity inside a target file is not checked.
+
+Usage: python3 tools/check_links.py [root]   (root defaults to repo root)
+Exit status 1 if any link is dead, listing every offender.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target "title") — target ends at whitespace or ')'.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference definition: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(text):
+    """Drop fenced and inline code spans so example links aren't checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def targets_in(text):
+    text = strip_code(text)
+    for pattern in (INLINE_LINK, REF_DEF):
+        for m in pattern.finditer(text):
+            yield m.group(1)
+
+
+def check_file(md_path, root):
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    base = os.path.dirname(md_path)
+    dead = []
+    for target in targets_in(text):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(root, path.lstrip("/"))
+            if path.startswith("/")
+            else os.path.join(base, path)
+        )
+        if not os.path.exists(resolved):
+            dead.append((target, resolved))
+    return dead
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        files += sorted(
+            os.path.join(docs_dir, n)
+            for n in os.listdir(docs_dir)
+            if n.endswith(".md")
+        )
+
+    failures = 0
+    for md in files:
+        if not os.path.exists(md):
+            print(f"MISSING FILE {md}")
+            failures += 1
+            continue
+        for target, resolved in check_file(md, root):
+            rel = os.path.relpath(md, root)
+            print(f"DEAD LINK {rel}: ({target}) -> {resolved}")
+            failures += 1
+
+    if failures:
+        print(f"{failures} dead link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
