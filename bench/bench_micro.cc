@@ -46,6 +46,14 @@ namespace {
 std::atomic<size_t> g_heap_allocs{0};
 }  // namespace
 
+// GCC pairs each `new` expression at a call site with the std::free it
+// inlines from the replaced operator delete below and reports
+// -Wmismatched-new-delete; the pairing is in fact correct because the
+// replaced operator new allocates with std::malloc.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t size) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;

@@ -1,0 +1,56 @@
+# Negative-compile harness for the thread-safety analysis (included from the
+# root CMakeLists only when CAJADE_THREAD_SAFETY is ON, i.e. under Clang).
+#
+# A static analysis that silently stopped firing is worse than none: the CI
+# leg would stay green while the contracts rot. So the harness proves, on
+# every configure of the thread-safety leg, that each class of seeded
+# violation in tests/negative_compile/ is rejected — and that a correctly
+# locked control still compiles, so the failures above cannot be blamed on a
+# broken include path or flag set. The same four checks are registered as a
+# ctest (tests/negative_compile/run_checks.cmake) so the property shows up
+# in the test run, not just in the configure log.
+
+set(CAJADE_NEGCOMPILE_DIR ${CMAKE_CURRENT_SOURCE_DIR}/tests/negative_compile)
+
+# Compiles one snippet under the analysis flags; stores TRUE/FALSE in
+# `result_var`, full compiler output in `result_var`_OUTPUT.
+function(cajade_tsa_compile result_var snippet)
+  try_compile(_compiled
+    ${CMAKE_BINARY_DIR}/negative_compile/${snippet}
+    ${CAJADE_NEGCOMPILE_DIR}/${snippet}.cc
+    CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}"
+    COMPILE_DEFINITIONS "-Wthread-safety -Werror=thread-safety"
+    CXX_STANDARD 17
+    CXX_STANDARD_REQUIRED TRUE
+    OUTPUT_VARIABLE _output)
+  set(${result_var} ${_compiled} PARENT_SCOPE)
+  set(${result_var}_OUTPUT "${_output}" PARENT_SCOPE)
+endfunction()
+
+cajade_tsa_compile(CAJADE_NC_CONTROL control_ok)
+if(NOT CAJADE_NC_CONTROL)
+  message(FATAL_ERROR
+          "thread-safety negative-compile harness is broken: the correctly "
+          "locked control snippet failed to compile, so the expected "
+          "failures below would prove nothing.\n${CAJADE_NC_CONTROL_OUTPUT}")
+endif()
+
+foreach(snippet unguarded_access missing_requires double_acquire)
+  cajade_tsa_compile(CAJADE_NC_${snippet} ${snippet})
+  if(CAJADE_NC_${snippet})
+    message(FATAL_ERROR
+            "thread-safety analysis did NOT reject the seeded violation "
+            "'${snippet}' — the -Werror=thread-safety leg is not actually "
+            "checking anything. Did the annotation macros get stubbed out "
+            "under this compiler?")
+  endif()
+endforeach()
+message(STATUS
+        "Thread-safety negative-compile checks passed (3 violations "
+        "rejected, control accepted)")
+
+add_test(NAME negative_compile_thread_safety
+  COMMAND ${CMAKE_COMMAND}
+    -DCXX=${CMAKE_CXX_COMPILER}
+    -DSRC_DIR=${CMAKE_CURRENT_SOURCE_DIR}
+    -P ${CAJADE_NEGCOMPILE_DIR}/run_checks.cmake)

@@ -6,6 +6,10 @@
 // The paper's experiment shows CAPE answers a different question than
 // CaJaDE (counterbalances vs. contextual patterns); this implementation
 // reproduces that qualitative behaviour.
+//
+// Ownership and thread-safety: stateless free functions over a borrowed
+// read-only query result; returned explanations are fresh caller-owned
+// values, so concurrent calls are safe.
 
 #ifndef CAJADE_BASELINES_CAPE_H_
 #define CAJADE_BASELINES_CAPE_H_

@@ -4,6 +4,10 @@
 // between a maximum-entropy-style estimate and a binary outcome column.
 // Candidates come from the LCA meet of a sample with itself (the sample-size
 // knob drives the quadratic runtime the paper's Figure 11 shows).
+//
+// Ownership and thread-safety: stateless free functions over borrowed
+// read-only tables; the returned explanation table is a fresh caller-owned
+// value, so concurrent calls are safe.
 
 #ifndef CAJADE_BASELINES_EXPLANATION_TABLES_H_
 #define CAJADE_BASELINES_EXPLANATION_TABLES_H_

@@ -4,6 +4,10 @@
 // random forests) takes an explicit Rng so that tests and benchmarks are
 // reproducible run-to-run and across platforms (we avoid std::
 // distributions, whose outputs are implementation-defined).
+//
+// Ownership and thread-safety: each Rng owns its small state and is NOT
+// thread-safe; give every thread or task its own instance (the engine
+// derives per-task seeds rather than sharing a generator).
 
 #ifndef CAJADE_COMMON_RNG_H_
 #define CAJADE_COMMON_RNG_H_

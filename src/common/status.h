@@ -2,6 +2,10 @@
 //
 // Library code does not throw exceptions; every fallible operation returns a
 // Status (for void results) or a Result<T> (a Status-or-value union).
+//
+// Ownership and thread-safety: plain value types owned by the caller;
+// concurrent const access is safe, mutation of a shared instance requires
+// external synchronization.
 
 #ifndef CAJADE_COMMON_STATUS_H_
 #define CAJADE_COMMON_STATUS_H_

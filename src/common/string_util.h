@@ -1,4 +1,8 @@
 // Small string helpers shared across modules.
+//
+// Ownership and thread-safety: stateless free functions; inputs are borrowed
+// read-only and results are fresh caller-owned values, so concurrent calls
+// are safe.
 
 #ifndef CAJADE_COMMON_STRING_UTIL_H_
 #define CAJADE_COMMON_STRING_UTIL_H_

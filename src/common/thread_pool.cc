@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "src/common/thread_annotations.h"
+
 namespace cajade {
 
 WorkerPool::WorkerPool(size_t num_threads) {
@@ -15,32 +17,32 @@ WorkerPool::WorkerPool(size_t num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void WorkerPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.Wait(mu_);
 }
 
 void WorkerPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       // Drain the queue even when stopping so ~WorkerPool never drops
       // submitted work (ParallelFor state lives until its tasks finish).
       if (queue_.empty()) return;
@@ -50,9 +52,9 @@ void WorkerPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -70,8 +72,11 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::atomic<size_t> done{0};
     size_t n = 0;
     const std::function<void(size_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Guards nothing by itself — it exists so the completion notify and
+    /// the final wait exchange `done` without a missed wakeup. The
+    /// counters stay atomics (workers touch them lock-free per iteration).
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<ForState>();
   state->n = n;
@@ -82,8 +87,8 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       if (i >= state->n) return;
       (*state->fn)(i);
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        MutexLock lock(state->mu);
+        state->cv.NotifyAll();
       }
     }
   };
@@ -97,10 +102,10 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // workers that are all blocked the same way. It also means total
   // concurrency is num_threads() + 1, counting the caller.
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) >= state->n;
-  });
+  MutexLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) < state->n) {
+    state->cv.Wait(state->mu);
+  }
 }
 
 size_t WorkerPool::ResolveThreads(int requested) {

@@ -21,17 +21,22 @@
 // and nothing is in flight, which under concurrent callers means "until
 // everyone's work is done" — prefer ParallelFor's per-group completion in
 // shared-pool code.
+//
+// Ownership: the pool owns its worker threads and the queued task closures;
+// callers own whatever state those closures capture. Locking is annotated
+// in-line (Mutex / GUARDED_BY below) and checked by the thread-safety CI
+// leg.
 
 #ifndef CAJADE_COMMON_THREAD_POOL_H_
 #define CAJADE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace cajade {
 
@@ -52,12 +57,12 @@ class WorkerPool {
 
   /// Enqueues a task. Tasks must not throw; Status-style error handling
   /// belongs inside the task (record the error, merge after Wait).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished — pool-global,
   /// across all callers. Not a per-caller barrier: on a shared pool use
   /// ParallelFor, whose completion is scoped to its own iterations.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs fn(0) .. fn(n-1) on the pool and blocks until all calls
   /// returned. Iterations are claimed dynamically (one atomic fetch-add
@@ -75,15 +80,17 @@ class WorkerPool {
   static size_t ResolveThreads(int requested);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
+  /// Immutable after the constructor returns (workers are spawned once and
+  /// only joined in the destructor), so reads need no lock.
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< signals workers: queue non-empty/stop
-  std::condition_variable idle_cv_;   ///< signals Wait(): everything finished
-  size_t in_flight_ = 0;              ///< dequeued but not yet finished
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_cv_;  ///< signals workers: queue non-empty/stop
+  CondVar idle_cv_;  ///< signals Wait(): everything finished
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  ///< dequeued, not yet finished
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cajade

@@ -2,6 +2,10 @@
 // paper's runtime-breakdown tables (Feature Selection / Gen. Pat. Cand. /
 // F-score Calc. / Materialize APTs / Refine Patterns / Sampling for F1 /
 // JG Enum.).
+//
+// Ownership and thread-safety: timers and profilers are caller-owned,
+// single-stream objects — one thread starts/stops a given instance; they are
+// not internally synchronized.
 
 #ifndef CAJADE_COMMON_TIMER_H_
 #define CAJADE_COMMON_TIMER_H_

@@ -1,6 +1,10 @@
 // Value: the dynamically-typed scalar used at API boundaries (query
 // parameters, pattern constants, row accessors). Columns store data in typed
 // vectors; Value is the lingua franca between them.
+//
+// Ownership and thread-safety: plain value types owned by the caller;
+// concurrent const access is safe, mutation of a shared instance requires
+// external synchronization.
 
 #ifndef CAJADE_COMMON_VALUE_H_
 #define CAJADE_COMMON_VALUE_H_

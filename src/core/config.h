@@ -1,5 +1,8 @@
 // All tuning parameters of CaJaDE (paper Table 1 plus the thresholds named
 // in the text), with the paper's default values.
+//
+// Ownership and thread-safety: a plain caller-owned value struct with no
+// hidden sharing; copy freely, including one copy per thread.
 
 #ifndef CAJADE_CORE_CONFIG_H_
 #define CAJADE_CORE_CONFIG_H_

@@ -2,6 +2,13 @@
 // query, a user question, and a schema graph, enumerate join graphs, mine
 // each valid graph's augmented provenance table for summarization patterns,
 // and return a globally ranked explanation list.
+//
+// Ownership and thread-safety: an Explainer borrows the Database and
+// SchemaGraph (the caller keeps them alive and unmodified while it is in
+// use) and owns its configuration and cache handles. Explain/Prepare are
+// internally parallel over a WorkerPool, but an instance serves one request
+// stream at a time — the serving layer leases a dedicated Explainer per
+// in-flight request (see serve/explain_server.h) instead of sharing one.
 
 #ifndef CAJADE_CORE_EXPLAINER_H_
 #define CAJADE_CORE_EXPLAINER_H_

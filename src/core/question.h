@@ -1,6 +1,10 @@
 // User questions (paper Section 2.4): two-point questions compare the
 // provenance of two output tuples t1 and t2; single-point questions compare
 // one tuple against all remaining output tuples.
+//
+// Ownership and thread-safety: plain value types owned by the caller;
+// concurrent const access is safe, mutation of a shared instance requires
+// external synchronization.
 
 #ifndef CAJADE_CORE_QUESTION_H_
 #define CAJADE_CORE_QUESTION_H_

@@ -3,6 +3,10 @@
 // "star player" signal (S. Curry scoring high in 2015-16) and a planted
 // "pair of players" lineup signal, so the intro's two headline explanations
 // are recoverable. Used by the quickstart example and end-to-end tests.
+//
+// Ownership and thread-safety: stateless generator functions, deterministic
+// in the seed; each call returns a fresh caller-owned Database, so
+// concurrent calls are safe.
 
 #ifndef CAJADE_DATASETS_EXAMPLE_NBA_H_
 #define CAJADE_DATASETS_EXAMPLE_NBA_H_

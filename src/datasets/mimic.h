@@ -15,6 +15,10 @@
 //     high, chapter 13 (musculoskeletal) low (Qmimic1),
 //   * ethnicity correlates with religion, stay length and admission type
 //     (Qmimic5).
+//
+// Ownership and thread-safety: stateless generator functions, deterministic
+// in the seed; each call returns a fresh caller-owned Database, so
+// concurrent calls are safe.
 
 #ifndef CAJADE_DATASETS_MIMIC_H_
 #define CAJADE_DATASETS_MIMIC_H_

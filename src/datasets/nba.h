@@ -17,6 +17,10 @@
 // Scale factor 1.0 corresponds to a full 10-season schedule (1230 games per
 // season); smaller/larger factors shrink/grow the schedule per Section 5's
 // methodology (relative table sizes and join-result sizes preserved).
+//
+// Ownership and thread-safety: stateless generator functions, deterministic
+// in the seed; each call returns a fresh caller-owned Database, so
+// concurrent calls are safe.
 
 #ifndef CAJADE_DATASETS_NBA_H_
 #define CAJADE_DATASETS_NBA_H_

@@ -57,10 +57,9 @@ Result<Database> ScaleUpDatabase(const Database& db, int factor,
         for (size_t c = 0; c < src->num_columns(); ++c) {
           Value v = src->GetValue(r, c);
           if (shifted[c] && !v.is_null()) {
-            row.push_back(Value(v.AsInt() + offset));
-          } else {
-            row.push_back(std::move(v));
+            v = Value(v.AsInt() + offset);
           }
+          row.push_back(std::move(v));
         }
         RETURN_NOT_OK(dst->AppendRow(row));
       }

@@ -2,6 +2,10 @@
 // preserves relative table sizes and join-result sizes; up-scaling
 // duplicates rows while suffixing primary-key (and selected) columns so
 // constraints hold and join results scale proportionally.
+//
+// Ownership and thread-safety: stateless free functions; the input database
+// is borrowed read-only and the scaled output is a fresh caller-owned
+// Database, so concurrent calls are safe.
 
 #ifndef CAJADE_DATASETS_SCALING_H_
 #define CAJADE_DATASETS_SCALING_H_

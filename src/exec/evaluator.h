@@ -5,6 +5,11 @@
 // bound indexes — either against a single materialized table (relation index
 // 0) or against a tuple of rows drawn from several base tables (used while
 // joining).
+//
+// Ownership and thread-safety: scopes and bound expressions are caller-owned
+// and borrow the relations they were bound against (keep those alive while
+// evaluating). Instances are not internally synchronized; the executor gives
+// each evaluation stream its own.
 
 #ifndef CAJADE_EXEC_EVALUATOR_H_
 #define CAJADE_EXEC_EVALUATOR_H_

@@ -274,12 +274,12 @@ size_t SmallestUnbound(const SpjState& st,
 }  // namespace
 
 const TableStats& QueryExecutor::Stats(const Table& table) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_.Get(table);
 }
 
 const TableStats& QueryExecutor::StatsRanges(const Table& table) const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_.GetRanges(table);
 }
 

@@ -13,15 +13,20 @@
 // The seed's tuple-key implementation (per-row std::vector<Value> keys into
 // an unordered_multimap) survives as ReferenceExecuteSpj, the differential-
 // testing oracle and the BM_ExecuteSpjSeed baseline.
+//
+// Ownership and thread-safety: the executor borrows the caller's Database
+// for the duration of a call and returns fresh caller-owned result tables.
+// It is stateless apart from the stats catalog below (stats_mu_-guarded), so
+// concurrent Execute calls on one instance are safe.
 
 #ifndef CAJADE_EXEC_EXECUTOR_H_
 #define CAJADE_EXEC_EXECUTOR_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/sql/expr.h"
 #include "src/stats/table_stats.h"
 #include "src/storage/database.h"
@@ -82,17 +87,22 @@ class QueryExecutor {
   /// first use, keyed by table name + row count). Tables must stay
   /// unmodified while a query runs, and one executor serves one query
   /// stream at a time — run concurrent query streams on separate executors.
-  const TableStats& Stats(const Table& table) const;
+  const TableStats& Stats(const Table& table) const EXCLUDES(stats_mu_);
 
   /// Range-only statistics (null counts, numeric min/max): a plain
   /// sequential scan with no hashing, enough for the join kernels' layout
   /// selection. The full distinct-count pass runs only when the planner
   /// actually needs an ndv tie-break.
-  const TableStats& StatsRanges(const Table& table) const;
+  const TableStats& StatsRanges(const Table& table) const
+      EXCLUDES(stats_mu_);
 
   const Database* db_;
-  mutable std::mutex stats_mu_;
-  mutable StatsCatalog stats_;
+  /// Serializes access to the single-stream StatsCatalog methods. Note the
+  /// returned references escape the critical section by design: entries
+  /// are only ever upgraded in place (never moved or dropped), so a
+  /// reference handed out under the lock stays valid — see StatsCatalog.
+  mutable Mutex stats_mu_;
+  mutable StatsCatalog stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cajade

@@ -12,6 +12,10 @@
 // SplitMix64 of an int64 key or of a dictionary code) need no verification on
 // probe; callers with lossy hashes (multi-column string keys) must re-check
 // equality per chain entry.
+//
+// Ownership and thread-safety: the table owns its slot and entry arrays.
+// Build (Insert/Finalize) is single-writer; after Finalize the structure is
+// read-only and concurrent probes are safe.
 
 #ifndef CAJADE_EXEC_FLAT_HASH_H_
 #define CAJADE_EXEC_FLAT_HASH_H_

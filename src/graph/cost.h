@@ -2,6 +2,9 @@
 // Plays the role of the DBMS cost estimate the paper obtains from
 // PostgreSQL: a Selinger-style cardinality estimate from per-column distinct
 // counts, multiplied by the APT width.
+//
+// Ownership and thread-safety: stateless free functions over borrowed
+// read-only statistics; concurrent calls are safe.
 
 #ifndef CAJADE_GRAPH_COST_H_
 #define CAJADE_GRAPH_COST_H_

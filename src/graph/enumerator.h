@@ -2,6 +2,10 @@
 // join graphs of increasing edge count, extending each graph of size i-1 by
 // one schema-graph-conforming edge, with isValid pruning (primary-key
 // coverage + estimated cost) deciding which graphs are mined.
+//
+// Ownership and thread-safety: enumeration is a stateless function of the
+// borrowed schema graph and config; produced join graphs are fresh
+// caller-owned values, so concurrent calls are safe.
 
 #ifndef CAJADE_GRAPH_ENUMERATOR_H_
 #define CAJADE_GRAPH_ENUMERATOR_H_

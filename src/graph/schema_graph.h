@@ -3,6 +3,10 @@
 // equi-join conditions. Built from foreign-key constraints, with user-added
 // conditions supported (e.g. the home=winner variant from Figure 3, or the
 // lineup_player self-join).
+//
+// Ownership and thread-safety: SchemaGraph is a caller-owned value; build it
+// once, then share it read-only across threads — the engine never mutates a
+// schema graph after construction.
 
 #ifndef CAJADE_GRAPH_SCHEMA_GRAPH_H_
 #define CAJADE_GRAPH_SCHEMA_GRAPH_H_

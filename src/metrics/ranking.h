@@ -1,6 +1,10 @@
 // Ranking-agreement metrics used in the paper's evaluation: NDCG (Figures
 // 10f and Table 9), Kendall-tau rank distance (Table 9), and top-k
 // match/recall of sampled versus exact pattern lists (Figures 10b-e, 10g).
+//
+// Ownership and thread-safety: stateless free functions; inputs are borrowed
+// read-only and results are fresh caller-owned values, so concurrent calls
+// are safe.
 
 #ifndef CAJADE_METRICS_RANKING_H_
 #define CAJADE_METRICS_RANKING_H_

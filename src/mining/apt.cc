@@ -322,18 +322,18 @@ void AptIndexCache::EvictOverLimitLocked() {
 }
 
 void AptIndexCache::set_max_bytes(size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   max_bytes_ = max_bytes;
   EvictOverLimitLocked();
 }
 
 size_t AptIndexCache::max_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_bytes_;
 }
 
 size_t AptIndexCache::bytes_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
@@ -354,7 +354,7 @@ AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
   std::shared_ptr<Entry> entry;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       entry = it->second;
@@ -372,7 +372,7 @@ AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
     // get() (not wait()) rethrows a builder failure instead of returning
     // a half-built index.
     entry->ready.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
     return entry->index;
   }
@@ -384,7 +384,7 @@ AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
     // the same exception (without this they would block forever — the
     // promise would never be fulfilled).
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       map_.erase(key);
     }
     entry->ready_promise.set_exception(std::current_exception());
@@ -393,7 +393,7 @@ AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
   entry->bytes = entry->index->ApproxBytes() + key.size();
   builds_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lru_.push_front(key);
     entry->lru_it = lru_.begin();
     entry->in_lru = true;
@@ -426,18 +426,18 @@ void AptPrefixCache::EvictOverLimitLocked() {
 }
 
 void AptPrefixCache::set_max_bytes(size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   max_bytes_ = max_bytes;
   EvictOverLimitLocked();
 }
 
 size_t AptPrefixCache::max_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_bytes_;
 }
 
 size_t AptPrefixCache::bytes_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
@@ -447,7 +447,7 @@ Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
   std::shared_ptr<Entry> entry;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       entry = it->second;
@@ -469,7 +469,7 @@ Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
     // waiter had built the state itself — identical at every schedule.
     if (entry->exception) std::rethrow_exception(entry->exception);
     if (!entry->status.ok()) return entry->status;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
     return entry->state;
   }
@@ -484,7 +484,7 @@ Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
     // rethrow to the builder's caller; the entry is dropped so a later
     // call retries.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       map_.erase(key);
     }
     entry->exception = std::current_exception();
@@ -496,7 +496,7 @@ Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
     // must not poison a caller with a larger one); waiters see this
     // failure, later calls rebuild.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       map_.erase(key);
     }
     entry->status = built.status();
@@ -509,7 +509,7 @@ Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
   entry->bytes = ApproxStateBytes(*state);
   builds_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lru_.push_front(key);
     entry->lru_it = lru_.begin();
     entry->in_lru = true;

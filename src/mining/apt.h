@@ -13,6 +13,11 @@
 // The seed's scalar implementation survives as ReferenceMaterializeApt, the
 // differential-testing oracle and bench baseline (mirroring
 // ReferenceHashEquiJoin / ReferenceExecuteSpj).
+//
+// Ownership and thread-safety: APT values own their column storage and
+// belong to the caller. The caches below own their entries and hand out
+// shared handles (shared_ptr / shared_future); their locking is annotated
+// in-line (Mutex / GUARDED_BY) and checked by the thread-safety CI leg.
 
 #ifndef CAJADE_MINING_APT_H_
 #define CAJADE_MINING_APT_H_
@@ -23,12 +28,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/exec/join.h"
 #include "src/graph/join_graph.h"
 #include "src/provenance/provenance.h"
@@ -80,7 +85,7 @@ class AptIndexCache {
   /// needs to stay valid for the duration of the call, and does not affect
   /// probe results (only build cost).
   IndexPtr Get(const Table& base, const std::vector<int>& cols,
-               const TableStats* stats = nullptr);
+               const TableStats* stats = nullptr) EXCLUDES(mu_);
 
   /// Number of indexes actually built (not lookups); a concurrent stress
   /// test asserts this equals the number of distinct keys requested.
@@ -94,12 +99,16 @@ class AptIndexCache {
   }
 
   /// Adjusts the memory bound, evicting LRU entries if now over it.
-  void set_max_bytes(size_t max_bytes);
-  size_t max_bytes() const;
+  void set_max_bytes(size_t max_bytes) EXCLUDES(mu_);
+  size_t max_bytes() const EXCLUDES(mu_);
   /// Bytes held by cached indexes (JoinBuildIndex::ApproxBytes accounting).
-  size_t bytes_in_use() const;
+  size_t bytes_in_use() const EXCLUDES(mu_);
 
  private:
+  /// Entry fields are protected by the shared_future protocol, not mu_:
+  /// only the building thread writes index/bytes, before fulfilling
+  /// ready_promise; waiters read them after ready. in_lru/lru_it are the
+  /// exception — touched only inside mu_ critical sections with lru_.
   struct Entry {
     /// Published before ready is fulfilled; null when the build failed.
     IndexPtr index;
@@ -110,14 +119,15 @@ class AptIndexCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictOverLimitLocked();
+  void EvictOverLimitLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_
+      GUARDED_BY(mu_);
   /// Most-recently-used first; holds only Ready entries.
-  std::list<std::string> lru_;
-  size_t max_bytes_;
-  size_t bytes_ = 0;
+  std::list<std::string> lru_ GUARDED_BY(mu_);
+  size_t max_bytes_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> builds_{0};
   std::atomic<size_t> evictions_{0};
@@ -170,14 +180,15 @@ class AptPrefixCache {
   /// use (at most one builder per key across threads; concurrent callers
   /// block until it finishes). A failed build is propagated to every waiter
   /// and evicted immediately, so a later call retries.
-  Result<StatePtr> GetOrBuild(const std::string& key,
-                              const std::function<Result<AptJoinState>()>& build);
+  Result<StatePtr> GetOrBuild(
+      const std::string& key,
+      const std::function<Result<AptJoinState>()>& build) EXCLUDES(mu_);
 
   /// Adjusts the memory bound, evicting LRU entries if now over it.
-  void set_max_bytes(size_t max_bytes);
-  size_t max_bytes() const;
+  void set_max_bytes(size_t max_bytes) EXCLUDES(mu_);
+  size_t max_bytes() const EXCLUDES(mu_);
   /// Bytes held by cached states (approximate, column-buffer accounting).
-  size_t bytes_in_use() const;
+  size_t bytes_in_use() const EXCLUDES(mu_);
 
   size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   size_t builds() const { return builds_.load(std::memory_order_relaxed); }
@@ -190,6 +201,10 @@ class AptPrefixCache {
   static size_t ApproxStateBytes(const AptJoinState& state);
 
  private:
+  /// Entry fields follow the same split as AptIndexCache::Entry: the
+  /// builder alone writes state/status/exception/bytes before fulfilling
+  /// ready_promise (waiters read after ready — the future carries the
+  /// ordering); in_lru/lru_it only move inside mu_ critical sections.
   struct Entry {
     std::promise<void> ready_promise;
     std::shared_future<void> ready;
@@ -205,14 +220,15 @@ class AptPrefixCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictOverLimitLocked();
+  void EvictOverLimitLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_
+      GUARDED_BY(mu_);
   /// Most-recently-used first; holds only Ready entries.
-  std::list<std::string> lru_;
-  size_t max_bytes_;
-  size_t bytes_ = 0;
+  std::list<std::string> lru_ GUARDED_BY(mu_);
+  size_t max_bytes_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> builds_{0};
   std::atomic<size_t> evictions_{0};

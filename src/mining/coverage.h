@@ -4,6 +4,10 @@
 // byte-per-position scan. The same type carries the pattern kernels' row
 // selection masks (bit r = APT row r matches), so a full-table match mask
 // flows into coverage scoring without ever materializing row-id lists.
+//
+// Ownership and thread-safety: stateless free functions; inputs are borrowed
+// read-only and results are fresh caller-owned values, so concurrent calls
+// are safe.
 
 #ifndef CAJADE_MINING_COVERAGE_H_
 #define CAJADE_MINING_COVERAGE_H_

@@ -3,6 +3,10 @@
 // categorical attributes — attributes where the pair agrees keep an equality
 // predicate, the rest become don't-cares. Frequently co-occurring constant
 // combinations surface as high-count candidates.
+//
+// Ownership and thread-safety: stateless free functions; inputs are borrowed
+// read-only and results are fresh caller-owned values, so concurrent calls
+// are safe.
 
 #ifndef CAJADE_MINING_LCA_H_
 #define CAJADE_MINING_LCA_H_

@@ -6,6 +6,11 @@
 //   4. numeric refinement over domain fragments with recall-monotonicity
 //      pruning (Section 3.4, Proposition 3.1),
 //   5. diversity-aware top-k selection (Section 3.5).
+//
+// Ownership and thread-safety: mining borrows the APT read-only, owns its
+// scratch state, and returns fresh caller-owned patterns; deterministic in
+// the supplied Rng. Distinct calls run safely on distinct threads (the
+// explainer fans out one call per APT), each with its own Rng.
 
 #ifndef CAJADE_MINING_MINER_H_
 #define CAJADE_MINING_MINER_H_

@@ -1,6 +1,10 @@
 // Summarization patterns (paper Definition 5): conjunctions of predicates
 // over APT attributes — equality on categorical attributes, =/<=/>= with a
 // threshold on numeric ones. Attributes not mentioned are "don't care" (*).
+//
+// Ownership and thread-safety: plain value types owned by the caller;
+// concurrent const access is safe, mutation of a shared instance requires
+// external synchronization.
 
 #ifndef CAJADE_MINING_PATTERN_H_
 #define CAJADE_MINING_PATTERN_H_

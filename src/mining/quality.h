@@ -2,6 +2,10 @@
 // of provenance rows through the APT, precision/recall/F-score of a pattern
 // for one output tuple against the other, optionally estimated on a sample
 // of the provenance (Section 3.3, lambda_F1-samp).
+//
+// Ownership and thread-safety: stateless free functions; inputs are borrowed
+// read-only and results are fresh caller-owned values, so concurrent calls
+// are safe.
 
 #ifndef CAJADE_MINING_QUALITY_H_
 #define CAJADE_MINING_QUALITY_H_

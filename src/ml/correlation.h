@@ -2,6 +2,10 @@
 // numeric-numeric, Cramer's V for categorical-categorical, and the
 // correlation ratio (eta) for mixed pairs. Substrate for VARCLUS-style
 // attribute clustering (paper Section 3.1).
+//
+// Ownership and thread-safety: stateless functions over a borrowed read-only
+// feature matrix; results are fresh caller-owned values, so concurrent calls
+// are safe.
 
 #ifndef CAJADE_ML_CORRELATION_H_
 #define CAJADE_ML_CORRELATION_H_

@@ -13,6 +13,11 @@
 // RNG draw sequence are identical to the naive implementation: same
 // candidates in the same order, same exact counts, same
 // strict-improvement tie-breaking.
+//
+// Ownership and thread-safety: training borrows the feature matrix read-only
+// and returns a caller-owned model, deterministic in the supplied Rng;
+// concurrent training runs need distinct Rng instances. Trained models are
+// immutable, so concurrent prediction is safe.
 
 #ifndef CAJADE_ML_DECISION_TREE_H_
 #define CAJADE_ML_DECISION_TREE_H_

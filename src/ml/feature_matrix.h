@@ -1,6 +1,10 @@
 // Column-major feature matrix with binary labels: the interchange format
 // between APTs and the ML components (random forest relevance filtering,
 // attribute clustering).
+//
+// Ownership and thread-safety: the matrix owns its dense storage and belongs
+// to the caller; concurrent const access is safe, construction is
+// single-stream.
 
 #ifndef CAJADE_ML_FEATURE_MATRIX_H_
 #define CAJADE_ML_FEATURE_MATRIX_H_

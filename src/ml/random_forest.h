@@ -2,6 +2,11 @@
 // the role of the paper's relevance filter (Section 3.1): attributes are
 // ranked by how useful they are for predicting which of the two user-question
 // outputs an APT row belongs to.
+//
+// Ownership and thread-safety: training borrows the feature matrix read-only
+// and returns a caller-owned model, deterministic in the supplied Rng;
+// concurrent training runs need distinct Rng instances. Trained models are
+// immutable, so concurrent prediction is safe.
 
 #ifndef CAJADE_ML_RANDOM_FOREST_H_
 #define CAJADE_ML_RANDOM_FOREST_H_

@@ -3,6 +3,10 @@
 // age, assists vs. assist points) contribute a single representative to
 // pattern mining. The paper notes any correlated-attribute clustering
 // applies; we use threshold-based agglomeration over pairwise association.
+//
+// Ownership and thread-safety: stateless clustering over a borrowed
+// read-only correlation matrix; the returned clusters are fresh caller-owned
+// values, so concurrent calls are safe.
 
 #ifndef CAJADE_ML_VARCLUS_H_
 #define CAJADE_ML_VARCLUS_H_

@@ -6,6 +6,10 @@
 // that fed t's group. Attributes are renamed prov_<relation>_<attribute>
 // (underscores in relation names doubled), matching the paper's appendix
 // output, e.g. prov_player__game__stats_minutes.
+//
+// Ownership and thread-safety: provenance tables and annotations are
+// caller-owned values produced by the executor; once built they are only
+// read, so sharing them across mining threads is safe.
 
 #ifndef CAJADE_PROVENANCE_PROVENANCE_H_
 #define CAJADE_PROVENANCE_PROVENANCE_H_

@@ -68,36 +68,10 @@ std::string SerializeResultConfig(const CajadeConfig& c) {
 ///    every request in the queue.
 class ExplainServer::ExplainerLease {
  public:
-  explicit ExplainerLease(ExplainServer* server) : server_(server) {
-    std::unique_lock<std::mutex> lock(server_->lease_mu_);
-    // Invariant: idle_ is non-empty only while waiters_ is empty (a release
-    // with queued waiters hands off directly and never lands in idle_), so
-    // taking from idle_ here cannot barge in front of an earlier waiter.
-    if (!server_->idle_.empty()) {
-      explainer_ = server_->idle_.back();
-      server_->idle_.pop_back();
-      return;
-    }
-    LeaseWaiter self;
-    server_->waiters_.push_back(&self);
-    self.cv.wait(lock, [&] { return self.granted != nullptr; });
-    explainer_ = self.granted;
-  }
+  explicit ExplainerLease(ExplainServer* server)
+      : server_(server), explainer_(server->Acquire()) {}
 
-  ~ExplainerLease() {
-    std::unique_lock<std::mutex> lock(server_->lease_mu_);
-    if (!server_->waiters_.empty()) {
-      LeaseWaiter* next = server_->waiters_.front();
-      server_->waiters_.pop_front();
-      next->granted = explainer_;
-      // Notify while holding the lock: the waiter owns `next` on its stack
-      // and may destroy it as soon as its wait() returns, which can only
-      // happen after we release lease_mu_.
-      next->cv.notify_one();
-    } else {
-      server_->idle_.push_back(explainer_);
-    }
-  }
+  ~ExplainerLease() { server_->Release(explainer_); }
 
   ExplainerLease(const ExplainerLease&) = delete;
   ExplainerLease& operator=(const ExplainerLease&) = delete;
@@ -108,6 +82,35 @@ class ExplainServer::ExplainerLease {
   ExplainServer* server_;
   Explainer* explainer_;
 };
+
+Explainer* ExplainServer::Acquire() {
+  MutexLock lock(lease_mu_);
+  // Invariant: idle_ is non-empty only while waiters_ is empty (a release
+  // with queued waiters hands off directly and never lands in idle_), so
+  // taking from idle_ here cannot barge in front of an earlier waiter.
+  if (!idle_.empty()) {
+    Explainer* explainer = idle_.back();
+    idle_.pop_back();
+    return explainer;
+  }
+  LeaseWaiter self;
+  waiters_.push_back(&self);
+  return self.AwaitGrant(lease_mu_);
+}
+
+void ExplainServer::Release(Explainer* explainer) {
+  MutexLock lock(lease_mu_);
+  if (!waiters_.empty()) {
+    LeaseWaiter* next = waiters_.front();
+    waiters_.pop_front();
+    // Grant happens inside this MutexLock scope — LeaseWaiter::Grant
+    // REQUIRES the mutex, so notifying a waiter whose stack node could
+    // already be gone cannot compile.
+    next->Grant(explainer, lease_mu_);
+  } else {
+    idle_.push_back(explainer);
+  }
+}
 
 ExplainServer::ExplainServer(const Database* db,
                              const SchemaGraph* schema_graph, Options options)
@@ -122,6 +125,10 @@ ExplainServer::ExplainServer(const Database* db,
       result_cache_(options.result_cache_bytes) {
   if (options_.num_explainers < 1) options_.num_explainers = 1;
   explainers_.reserve(options_.num_explainers);
+  // No concurrency yet (the server is being constructed), but idle_ is
+  // GUARDED_BY(lease_mu_) and the analysis — rightly — has no notion of
+  // "no other threads exist"; an uncontended lock is free.
+  MutexLock lock(lease_mu_);
   idle_.reserve(options_.num_explainers);
   for (size_t i = 0; i < options_.num_explainers; ++i) {
     auto e = std::make_unique<Explainer>(db_, schema_graph_, options_.config);

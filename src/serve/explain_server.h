@@ -19,20 +19,24 @@
 //
 // bench/bench_load.cc drives this class with closed-loop clients and a
 // zipfian question mix; docs/SERVING.md walks through the knobs.
+//
+// Ownership: the server owns its Explainer fleet, the shared WorkerPool, the
+// shared caches, and the result cache; requests borrow one Explainer for
+// their duration via RAII lease. Locking is annotated in-line (Mutex /
+// GUARDED_BY below) and checked by the thread-safety CI leg.
 
 #ifndef CAJADE_SERVE_EXPLAIN_SERVER_H_
 #define CAJADE_SERVE_EXPLAIN_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/core/config.h"
 #include "src/core/explainer.h"
@@ -122,6 +126,18 @@ class ExplainServer {
 
  private:
   class ExplainerLease;
+  /// Drives Acquire/Release directly and inspects the waiter queue, so the
+  /// FIFO direct-handoff protocol is pinned by deterministic tests instead
+  /// of timing-dependent full Explain calls.
+  friend struct ExplainServerTestPeer;
+
+  /// Blocks until an Explainer is free, FIFO behind earlier blocked
+  /// callers; the returned pointer stays valid for the server's lifetime
+  /// and must be returned through Release.
+  Explainer* Acquire() EXCLUDES(lease_mu_);
+  /// Returns a leased Explainer: direct handoff to the front waiter if any,
+  /// else back to the idle list.
+  void Release(Explainer* explainer) EXCLUDES(lease_mu_);
 
   const Database* db_;
   const SchemaGraph* schema_graph_;
@@ -144,13 +160,34 @@ class ExplainServer {
   /// targeted wakeup — see ExplainerLease for why both the fairness and
   /// the single wakeup matter for tail latency.
   std::vector<std::unique_ptr<Explainer>> explainers_;
+  /// One blocked Acquire call: a stack node queued FIFO in waiters_.
+  ///
+  /// The direct-handoff protocol is compiler-enforced: `granted` is only
+  /// touched through Grant/AwaitGrant, and both REQUIRES the lease mutex
+  /// the caller passes in — granting without the lock, or waking a waiter
+  /// whose node could already be destroyed, fails thread-safety analysis
+  /// instead of corrupting a stack frame. (The waiter owns this node on
+  /// its stack and frees it as soon as AwaitGrant returns, which can only
+  /// happen after the granter's MutexLock scope releases the mutex.)
   struct LeaseWaiter {
-    std::condition_variable cv;
+    CondVar cv;
     Explainer* granted = nullptr;
+
+    /// Records the grant and wakes exactly this waiter, under the lock.
+    void Grant(Explainer* explainer, [[maybe_unused]] Mutex& mu)
+        REQUIRES(mu) {
+      granted = explainer;
+      cv.NotifyOne();
+    }
+    /// Blocks until granted; returns the Explainer handed off.
+    Explainer* AwaitGrant(Mutex& mu) REQUIRES(mu) {
+      while (granted == nullptr) cv.Wait(mu);
+      return granted;
+    }
   };
-  std::mutex lease_mu_;
-  std::vector<Explainer*> idle_;
-  std::deque<LeaseWaiter*> waiters_;
+  Mutex lease_mu_;
+  std::vector<Explainer*> idle_ GUARDED_BY(lease_mu_);
+  std::deque<LeaseWaiter*> waiters_ GUARDED_BY(lease_mu_);
 
   std::atomic<size_t> requests_{0};
 };

@@ -41,18 +41,18 @@ void ResultCache::DetachIfCurrentLocked(const std::string& key,
 }
 
 void ResultCache::set_max_bytes(size_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   max_bytes_ = max_bytes;
   EvictOverLimitLocked();
 }
 
 size_t ResultCache::max_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_bytes_;
 }
 
 size_t ResultCache::bytes_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
@@ -62,7 +62,7 @@ Result<ResultCache::ResultPtr> ResultCache::GetOrCompute(
   std::shared_ptr<Entry> entry;
   bool computer = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end() && it->second->fingerprint != fingerprint) {
       // The base data moved under this entry (or under the computation
@@ -91,7 +91,7 @@ Result<ResultCache::ResultPtr> ResultCache::GetOrCompute(
     entry->ready.wait();
     if (entry->exception) std::rethrow_exception(entry->exception);
     if (!entry->status.ok()) return entry->status;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
     return entry->result;
   }
@@ -105,7 +105,7 @@ Result<ResultCache::ResultPtr> ResultCache::GetOrCompute(
     // Release waiters with the original exception (they rethrow it) and
     // rethrow to this caller; the entry is dropped so a later call retries.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       DetachIfCurrentLocked(key, entry);
     }
     entry->exception = std::current_exception();
@@ -115,7 +115,7 @@ Result<ResultCache::ResultPtr> ResultCache::GetOrCompute(
   if (!computed.ok()) {
     // Failures are not cached; waiters see this failure, later calls retry.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       DetachIfCurrentLocked(key, entry);
     }
     entry->status = computed.status();
@@ -128,7 +128,7 @@ Result<ResultCache::ResultPtr> ResultCache::GetOrCompute(
   entry->result = result;
   entry->bytes = ApproxResultBytes(*result) + key.size() + fingerprint.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end() && it->second == entry) {
       lru_.push_front(key);

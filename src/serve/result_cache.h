@@ -12,6 +12,11 @@
 // seed, so a hit can skip enumeration, APT materialization, and mining; a
 // mismatch means some base-table change altered the selected provenance, and
 // the entry is invalidated on the spot.
+//
+// Ownership: the cache owns its entries and hands results to callers as
+// shared_ptr snapshots; entry payloads are written once by the computing
+// thread (see Entry) and read-only afterwards. Locking is annotated in-line
+// (Mutex / GUARDED_BY below) and checked by the thread-safety CI leg.
 
 #ifndef CAJADE_SERVE_RESULT_CACHE_H_
 #define CAJADE_SERVE_RESULT_CACHE_H_
@@ -22,11 +27,11 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/explainer.h"
 
 namespace cajade {
@@ -62,13 +67,13 @@ class ResultCache {
   /// reported to every waiter and not cached, so a later call retries.
   Result<ResultPtr> GetOrCompute(
       const std::string& key, const std::string& fingerprint,
-      const std::function<Result<ExplainResult>()>& compute);
+      const std::function<Result<ExplainResult>()>& compute) EXCLUDES(mu_);
 
   /// Adjusts the memory bound, evicting LRU entries if now over it.
-  void set_max_bytes(size_t max_bytes);
-  size_t max_bytes() const;
+  void set_max_bytes(size_t max_bytes) EXCLUDES(mu_);
+  size_t max_bytes() const EXCLUDES(mu_);
   /// Bytes held by cached results (ApproxResultBytes accounting).
-  size_t bytes_in_use() const;
+  size_t bytes_in_use() const EXCLUDES(mu_);
 
   /// Lookups served from a valid entry (including waiters that latched onto
   /// an in-flight computation).
@@ -90,6 +95,13 @@ class ResultCache {
   static size_t ApproxResultBytes(const ExplainResult& result);
 
  private:
+  /// Entry fields are NOT guarded by mu_ — they are protected by the
+  /// shared_future protocol instead: the computing thread alone writes
+  /// result/status/exception/bytes before fulfilling ready_promise, and
+  /// waiters read them only after ready.wait() returns (the promise/future
+  /// pair carries the release/acquire ordering). The LRU bookkeeping
+  /// fields (in_lru, lru_it) are the exception: they are touched only
+  /// inside mu_ critical sections alongside lru_ itself.
   struct Entry {
     std::promise<void> ready_promise;
     std::shared_future<void> ready;
@@ -107,19 +119,21 @@ class ResultCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictOverLimitLocked();
+  void EvictOverLimitLocked() REQUIRES(mu_);
   /// Removes `entry` from the map (and LRU accounting, if present) iff it
   /// is still the entry the map holds under `key`; a computation that was
   /// invalidated mid-flight must not displace its replacement.
   void DetachIfCurrentLocked(const std::string& key,
-                             const std::shared_ptr<Entry>& entry);
+                             const std::shared_ptr<Entry>& entry)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_
+      GUARDED_BY(mu_);
   /// Most-recently-used first; holds only Ready entries.
-  std::list<std::string> lru_;
-  size_t max_bytes_;
-  size_t bytes_ = 0;
+  std::list<std::string> lru_ GUARDED_BY(mu_);
+  size_t max_bytes_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
   std::atomic<size_t> invalidations_{0};

@@ -1,6 +1,10 @@
 // Expression AST for the single-block SQL subset (Section 2 of the paper:
 // select-from-where-group-by with one aggregate function; we additionally
 // allow arithmetic over aggregates, e.g. 1.0*SUM(x)/COUNT(*)).
+//
+// Ownership and thread-safety: expression trees are nodes shared via ExprPtr
+// (shared_ptr); they are immutable after parsing, so concurrent read-only
+// evaluation over a shared tree is safe.
 
 #ifndef CAJADE_SQL_EXPR_H_
 #define CAJADE_SQL_EXPR_H_

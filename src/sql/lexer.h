@@ -1,4 +1,7 @@
 // SQL tokenizer for the single-block subset.
+//
+// Ownership and thread-safety: stateless tokenization; the returned tokens
+// are fresh caller-owned values, so concurrent calls are safe.
 
 #ifndef CAJADE_SQL_LEXER_H_
 #define CAJADE_SQL_LEXER_H_

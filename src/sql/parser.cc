@@ -238,7 +238,7 @@ class Parser {
     }
     if (t.type == TokenType::kIdentifier) {
       std::string first = Advance().text;
-      AggFunc fn;
+      AggFunc fn = AggFunc::kCount;  // overwritten when AggFuncFromName hits
       if (PeekSymbol("(") && AggFuncFromName(ToUpper(first), &fn)) {
         Advance();  // (
         if (PeekKeyword("DISTINCT")) Advance();

@@ -5,6 +5,10 @@
 //
 // with expressions over columns, numeric/string literals, the aggregates
 // COUNT/SUM/AVG/MIN/MAX, arithmetic (+ - * /), comparisons, AND/OR.
+//
+// Ownership and thread-safety: stateless parse entry points; the returned
+// AST is caller-owned (nodes shared via ExprPtr) and immutable after
+// parsing, so concurrent calls are safe.
 
 #ifndef CAJADE_SQL_PARSER_H_
 #define CAJADE_SQL_PARSER_H_

@@ -152,7 +152,7 @@ const TableStats& StatsCatalog::Get(const Table& table) {
 std::shared_ptr<const TableStats> StatsCatalog::SharedRanges(
     const Table& table) {
   {
-    std::lock_guard<std::mutex> lock(shared_mu_);
+    MutexLock lock(shared_mu_);
     auto it = shared_ranges_.find(table.name());
     if (it != shared_ranges_.end() && it->second.version == table.content_version()) {
       return it->second.stats;
@@ -162,7 +162,7 @@ std::shared_ptr<const TableStats> StatsCatalog::SharedRanges(
   // tables; two threads racing on the same table both compute identical
   // (deterministic) snapshots and the first insert wins.
   auto stats = std::make_shared<const TableStats>(ComputeTableRanges(table));
-  std::lock_guard<std::mutex> lock(shared_mu_);
+  MutexLock lock(shared_mu_);
   auto it = shared_ranges_.find(table.name());
   if (it != shared_ranges_.end() && it->second.version == table.content_version()) {
     return it->second.stats;

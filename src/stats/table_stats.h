@@ -2,16 +2,22 @@
 // catalog. The join-graph enumerator uses these to estimate APT
 // materialization cost, mirroring the paper's use of the DBMS cost estimate
 // to prune join graphs (Section 4, lambda_qcost).
+//
+// Ownership: the catalog owns its per-table statistics entries; callers
+// receive references that stay valid for the catalog's lifetime (entries are
+// upgraded in place, never dropped). The shared tier's locking is annotated
+// in-line (Mutex / GUARDED_BY below) and checked by the thread-safety CI
+// leg.
 
 #ifndef CAJADE_STATS_TABLE_STATS_H_
 #define CAJADE_STATS_TABLE_STATS_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/value.h"
 #include "src/storage/table.h"
 
@@ -79,7 +85,8 @@ class StatsCatalog {
   /// Kept in a map separate from the single-stream cache: the one extra
   /// sequential range scan per table is the price of not sharing mutable
   /// entries across threads.
-  std::shared_ptr<const TableStats> SharedRanges(const Table& table);
+  std::shared_ptr<const TableStats> SharedRanges(const Table& table)
+      EXCLUDES(shared_mu_);
 
   /// Exact distinct count of the multi-column combination `cols` (cached).
   /// Correlated columns (e.g. the year/month/day/home parts of a game key)
@@ -97,6 +104,11 @@ class StatsCatalog {
     bool full;  ///< distinct counts present (ComputeTableStats vs Ranges)
     TableStats stats;
   };
+  /// Single-stream tier: deliberately NOT guarded by any mutex — the
+  /// class contract (one caller stream for Get/GetRanges/CombinedNdv)
+  /// makes a lock here either redundant or a false promise. External
+  /// callers that need concurrency wrap these calls in their own mutex
+  /// (QueryExecutor::stats_mu_) or stick to SharedRanges.
   std::unordered_map<std::string, Entry> cache_;
   std::unordered_map<std::string, size_t> combined_ndv_;
 
@@ -104,8 +116,9 @@ class StatsCatalog {
     uint64_t version;
     std::shared_ptr<const TableStats> stats;
   };
-  std::mutex shared_mu_;
-  std::unordered_map<std::string, SharedEntry> shared_ranges_;
+  Mutex shared_mu_;
+  std::unordered_map<std::string, SharedEntry> shared_ranges_
+      GUARDED_BY(shared_mu_);
 };
 
 }  // namespace cajade

@@ -1,5 +1,9 @@
 // Columnar storage. Strings are dictionary-encoded so categorical pattern
 // matching and grouping operate on int32 codes.
+//
+// Ownership and thread-safety: a Column owns its typed vector storage and
+// has value semantics; concurrent const access is safe, mutation is
+// single-stream (the engine treats loaded data as immutable).
 
 #ifndef CAJADE_STORAGE_COLUMN_H_
 #define CAJADE_STORAGE_COLUMN_H_

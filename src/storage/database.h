@@ -1,4 +1,9 @@
 // The catalog: named tables with their schemas.
+//
+// Ownership and thread-safety: the catalog owns its tables via TablePtr
+// (shared_ptr) and lookups hand out shared ownership. After load the engine
+// treats tables as immutable, so concurrent read-only access is safe;
+// catalog mutation (AddTable) is single-stream.
 
 #ifndef CAJADE_STORAGE_DATABASE_H_
 #define CAJADE_STORAGE_DATABASE_H_

@@ -1,5 +1,9 @@
 // Relation schemas: named, typed columns plus primary-key and foreign-key
 // metadata. FK metadata seeds the schema graph (Section 2.2 of the paper).
+//
+// Ownership and thread-safety: plain value types owned by the caller;
+// concurrent const access is safe, mutation of a shared instance requires
+// external synchronization.
 
 #ifndef CAJADE_STORAGE_SCHEMA_H_
 #define CAJADE_STORAGE_SCHEMA_H_

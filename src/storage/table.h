@@ -1,4 +1,9 @@
 // In-memory columnar table.
+//
+// Ownership and thread-safety: a Table owns its columns; instances are
+// shared read-only via TablePtr after load (the engine treats loaded tables
+// as immutable), so concurrent reads are safe and mutation (AppendRow etc.)
+// is single-stream.
 
 #ifndef CAJADE_STORAGE_TABLE_H_
 #define CAJADE_STORAGE_TABLE_H_

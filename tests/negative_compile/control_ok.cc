@@ -1,0 +1,44 @@
+// Positive control — MUST compile under -Werror=thread-safety. Exercises
+// the same constructs the seeded violations abuse (guarded field, REQUIRES
+// helper, scoped lock, condition wait) done correctly; if this fails, the
+// harness itself is broken (include path, flags, macro definitions) and
+// the three expected failures prove nothing.
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    cajade::MutexLock lock(mu_);
+    BumpLocked();
+    cv_.NotifyAll();
+  }
+
+  int Get() const {
+    cajade::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void AwaitAtLeast(int target) {
+    cajade::MutexLock lock(mu_);
+    while (value_ < target) cv_.Wait(mu_);
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable cajade::Mutex mu_;
+  cajade::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  c.AwaitAtLeast(1);
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+// Seeded violation — must NOT compile under -Werror=thread-safety:
+// acquires the same (non-recursive) mutex twice in one scope, the
+// self-deadlock a dynamic checker only catches on the schedule that
+// executes it.
+
+#include "src/common/thread_annotations.h"
+
+int main() {
+  cajade::Mutex mu;
+  cajade::MutexLock outer(mu);
+  // error: acquiring mutex 'mu' that is already held
+  cajade::MutexLock inner(mu);
+  return 0;
+}

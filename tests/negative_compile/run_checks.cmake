@@ -1,0 +1,42 @@
+# Test-time twin of cmake/NegativeCompile.cmake: re-runs the compiler in
+# -fsyntax-only mode over the seeded-violation snippets so `ctest -R
+# negative_compile` demonstrates on demand that -Werror=thread-safety still
+# rejects them (and still accepts the control). Invoked as
+#   cmake -DCXX=<clang++> -DSRC_DIR=<repo root> -P run_checks.cmake
+
+set(NC_DIR ${SRC_DIR}/tests/negative_compile)
+set(NC_FLAGS -std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety
+             -I${SRC_DIR})
+
+function(nc_compile snippet result_var)
+  execute_process(
+    COMMAND ${CXX} ${NC_FLAGS} ${NC_DIR}/${snippet}.cc
+    RESULT_VARIABLE _rc
+    OUTPUT_VARIABLE _out
+    ERROR_VARIABLE _err)
+  if(_rc EQUAL 0)
+    set(${result_var} TRUE PARENT_SCOPE)
+  else()
+    set(${result_var} FALSE PARENT_SCOPE)
+  endif()
+  set(${result_var}_DIAG "${_out}${_err}" PARENT_SCOPE)
+endfunction()
+
+nc_compile(control_ok CONTROL)
+if(NOT CONTROL)
+  message(FATAL_ERROR
+          "control snippet failed to compile — harness broken, expected "
+          "failures prove nothing:\n${CONTROL_DIAG}")
+endif()
+
+foreach(snippet unguarded_access missing_requires double_acquire)
+  nc_compile(${snippet} COMPILED)
+  if(COMPILED)
+    message(FATAL_ERROR
+            "seeded violation '${snippet}' compiled cleanly — the "
+            "thread-safety analysis is not firing")
+  endif()
+endforeach()
+
+message(STATUS "negative-compile checks passed: 3 violations rejected, "
+               "control accepted")

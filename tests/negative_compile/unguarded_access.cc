@@ -1,0 +1,31 @@
+// Seeded violation — must NOT compile under -Werror=thread-safety: reads a
+// GUARDED_BY field without holding its mutex. This is the bread-and-butter
+// diagnostic the annotation retrofit exists for; if this snippet ever
+// compiles, the analysis is off and cmake/NegativeCompile.cmake fails the
+// configure.
+
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    cajade::MutexLock lock(mu_);
+    ++value_;
+  }
+  // error: reading variable 'value_' requires holding mutex 'mu_'
+  int UnguardedGet() const { return value_; }
+
+ private:
+  mutable cajade::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.UnguardedGet();
+}

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/core/explainer.h"
 #include "src/datasets/example_nba.h"
@@ -217,7 +218,7 @@ TEST(AptIndexCacheTest, ConcurrentGetsBuildEachIndexOnce) {
   std::atomic<bool> failed{false};
   std::vector<AptIndexCache::IndexPtr> first_seen(
       tables.size() * col_sets.size());
-  std::mutex first_seen_mu;
+  Mutex first_seen_mu;
 
   auto worker = [&](int tid) {
     for (int iter = 0; iter < 50; ++iter) {
@@ -228,7 +229,7 @@ TEST(AptIndexCacheTest, ConcurrentGetsBuildEachIndexOnce) {
         for (size_t ci = 0; ci < col_sets.size(); ++ci) {
           AptIndexCache::IndexPtr idx = cache.Get(tables[t], col_sets[ci]);
           if (idx->size() != tables[t].num_rows()) failed.store(true);
-          std::lock_guard<std::mutex> lock(first_seen_mu);
+          MutexLock lock(first_seen_mu);
           AptIndexCache::IndexPtr& slot =
               first_seen[t * col_sets.size() + ci];
           if (slot == nullptr) {

@@ -17,6 +17,21 @@
 #include "src/serve/explain_server.h"
 
 namespace cajade {
+
+// Test-only access to the private lease pool (friend of ExplainServer):
+// lets the FIFO handoff tests below control exactly when each waiter is
+// queued, which no public-API test can do deterministically.
+struct ExplainServerTestPeer {
+  static Explainer* Acquire(ExplainServer& server) { return server.Acquire(); }
+  static void Release(ExplainServer& server, Explainer* explainer) {
+    server.Release(explainer);
+  }
+  static size_t WaiterCount(ExplainServer& server) {
+    MutexLock lock(server.lease_mu_);
+    return server.waiters_.size();
+  }
+};
+
 namespace {
 
 constexpr const char* kQ1 =
@@ -217,6 +232,90 @@ TEST_F(ServeTest, ConcurrentClientsShareCachesAndPool) {
   ExpectSameExplanations(
       expected_single,
       *server.Explain(kQ1, SinglePointQuestion()).ValueOrDie());
+}
+
+// Pins the lease pool's FIFO grant order. With one Explainer held and each
+// waiter provably queued (WaiterCount) before the next thread starts, the
+// enqueue order is exact — so the grant order must match it, every run.
+TEST_F(ServeTest, LeasePoolGrantsFifoUnderContention) {
+  auto options = BaseOptions();
+  options.num_explainers = 1;
+  ExplainServer server(&db_, &schema_graph_, options);
+
+  Explainer* held = ExplainServerTestPeer::Acquire(server);
+  ASSERT_NE(held, nullptr);
+
+  Mutex order_mu;
+  std::vector<int> grant_order;
+  std::vector<std::thread> threads;
+  constexpr int kWaiters = 3;
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&server, &order_mu, &grant_order, i] {
+      Explainer* e = ExplainServerTestPeer::Acquire(server);
+      {
+        MutexLock lock(order_mu);
+        grant_order.push_back(i);
+      }
+      ExplainServerTestPeer::Release(server, e);
+    });
+    // Don't start waiter i+1 until waiter i is in the queue.
+    while (ExplainServerTestPeer::WaiterCount(server) !=
+           static_cast<size_t>(i + 1)) {
+      std::this_thread::yield();
+    }
+  }
+
+  ExplainServerTestPeer::Release(server, held);
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(grant_order.size(), static_cast<size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(grant_order[i], i) << "lease granted out of FIFO order";
+  }
+}
+
+// Pins the direct-handoff half of the protocol: releasing with a queued
+// waiter must hand the Explainer to that waiter, not park it in the idle
+// list where a later acquirer could barge in front. If Release ever went
+// through idle_, the re-acquiring thread here could overtake the queued
+// waiter and the recorded order would invert (and TSan would get a shot at
+// the use-after-free of the waiter's stack node).
+TEST_F(ServeTest, ReleaseHandsOffDirectlyToQueuedWaiter) {
+  auto options = BaseOptions();
+  options.num_explainers = 1;
+  ExplainServer server(&db_, &schema_graph_, options);
+
+  Explainer* held = ExplainServerTestPeer::Acquire(server);
+  ASSERT_NE(held, nullptr);
+
+  Mutex order_mu;
+  std::vector<std::string> order;
+  std::thread waiter([&server, &order_mu, &order] {
+    Explainer* e = ExplainServerTestPeer::Acquire(server);
+    {
+      MutexLock lock(order_mu);
+      order.push_back("waiter");
+    }
+    ExplainServerTestPeer::Release(server, e);
+  });
+  while (ExplainServerTestPeer::WaiterCount(server) != 1) {
+    std::this_thread::yield();
+  }
+
+  // The release below must grant to `waiter`; this thread's immediate
+  // re-acquire has to go to the back of the line.
+  ExplainServerTestPeer::Release(server, held);
+  Explainer* again = ExplainServerTestPeer::Acquire(server);
+  {
+    MutexLock lock(order_mu);
+    order.push_back("main");
+  }
+  ExplainServerTestPeer::Release(server, again);
+  waiter.join();
+
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "waiter");
+  EXPECT_EQ(order[1], "main");
 }
 
 }  // namespace

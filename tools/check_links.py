@@ -2,24 +2,36 @@
 """Docs link checker: fails on dead relative links in README.md and docs/.
 
 Scans markdown inline links [text](target) and bare reference definitions
-[label]: target. External targets (http/https/mailto) and pure in-page
-anchors (#...) are skipped; everything else is resolved relative to the
-containing file and must exist in the working tree. Directory targets are
-allowed (e.g. a link to docs/). Fragments are stripped before the
-existence check — anchor validity inside a target file is not checked.
+[label]: target. External targets (http/https/mailto) are skipped;
+everything else is resolved relative to the containing file and must exist
+in the working tree. Directory targets are allowed (e.g. a link to docs/).
 
-Usage: python3 tools/check_links.py [root]   (root defaults to repo root)
-Exit status 1 if any link is dead, listing every offender.
+Fragments are validated, not stripped: a target like FILE.md#some-section
+(or a pure in-page #some-section) must name a heading that actually exists
+in the target file, using GitHub's slug rules (lowercase, punctuation
+dropped, spaces to hyphens, -N suffixes for duplicates). A renamed heading
+otherwise leaves a link that resolves to the page but silently lands at the
+top.
+
+Usage:
+  python3 tools/check_links.py [root]      root defaults to the repo root
+  python3 tools/check_links.py --self-test run fixture checks (dead links
+                                           and dead anchors must be caught,
+                                           live ones must pass)
+
+Exit status 1 if any link or anchor is dead, listing every offender.
 """
 
 import os
 import re
 import sys
+import tempfile
 
 # Inline [text](target "title") — target ends at whitespace or ')'.
 INLINE_LINK = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
 # Reference definition: [label]: target
 REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 
@@ -37,30 +49,72 @@ def targets_in(text):
             yield m.group(1)
 
 
+def github_slug(heading):
+    """GitHub's heading-to-anchor transform."""
+    # Inline code/links inside the heading contribute their text only.
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_in(md_path, cache={}):
+    """Set of valid fragment slugs in a markdown file (with -N dedup)."""
+    if md_path in cache:
+        return cache[md_path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[md_path] = anchors
+    return anchors
+
+
 def check_file(md_path, root):
     with open(md_path, encoding="utf-8") as f:
         text = f.read()
     base = os.path.dirname(md_path)
     dead = []
     for target in targets_in(text):
-        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+        if target.startswith(SKIP_PREFIXES):
             continue
-        path = target.split("#", 1)[0]
-        if not path:
-            continue
-        resolved = os.path.normpath(
-            os.path.join(root, path.lstrip("/"))
-            if path.startswith("/")
-            else os.path.join(base, path)
-        )
-        if not os.path.exists(resolved):
-            dead.append((target, resolved))
+        path, _, fragment = target.partition("#")
+        if path:
+            resolved = os.path.normpath(
+                os.path.join(root, path.lstrip("/"))
+                if path.startswith("/")
+                else os.path.join(base, path)
+            )
+            if not os.path.exists(resolved):
+                dead.append((target, f"missing file {resolved}"))
+                continue
+        else:
+            resolved = md_path  # pure in-page anchor
+        if fragment:
+            if not resolved.endswith(".md") or os.path.isdir(resolved):
+                continue  # anchors into non-markdown targets: not checked
+            if fragment.lower() not in anchors_in(resolved):
+                dead.append(
+                    (target,
+                     f"no heading with anchor '#{fragment}' in {resolved}"))
     return dead
 
 
-def main():
-    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
+def run(root):
     files = [os.path.join(root, "README.md")]
     docs_dir = os.path.join(root, "docs")
     if os.path.isdir(docs_dir):
@@ -76,16 +130,92 @@ def main():
             print(f"MISSING FILE {md}")
             failures += 1
             continue
-        for target, resolved in check_file(md, root):
+        for target, why in check_file(md, root):
             rel = os.path.relpath(md, root)
-            print(f"DEAD LINK {rel}: ({target}) -> {resolved}")
+            print(f"DEAD LINK {rel}: ({target}) -> {why}")
             failures += 1
 
     if failures:
         print(f"{failures} dead link(s)")
         return 1
-    print(f"checked {len(files)} file(s): all relative links resolve")
+    print(f"checked {len(files)} file(s): all links and anchors resolve")
     return 0
+
+
+# ---- self-test --------------------------------------------------------------
+
+GOOD_README = """\
+# Overview
+
+See [the guide](docs/GUIDE.md), [setup](docs/GUIDE.md#getting-started),
+[the FAQ entry](docs/GUIDE.md#why-c17), and [below](#local-notes).
+
+## Local Notes
+
+Text. Duplicate-heading anchors: [second](docs/GUIDE.md#details-1).
+"""
+
+GOOD_GUIDE = """\
+# Guide
+
+## Getting Started
+
+## Why C++17?
+
+## Details
+
+## Details
+
+```sh
+# not a heading: fenced code
+```
+"""
+
+
+def self_test():
+    cases = [
+        ("clean fixture passes", None, False),
+        ("dead file caught",
+         ("README.md", "[gone](docs/NOPE.md)\n"), True),
+        ("dead same-file anchor caught",
+         ("README.md", "# T\n\n[x](#no-such-heading)\n"), True),
+        ("dead cross-file anchor caught",
+         ("README.md", "[x](docs/GUIDE.md#renamed-section)\n"), True),
+        ("out-of-range duplicate anchor caught",
+         ("README.md", "[x](docs/GUIDE.md#details-2)\n"), True),
+    ]
+    misses = 0
+    for name, patch, expect_fail in cases:
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "docs"))
+            with open(os.path.join(root, "README.md"), "w") as f:
+                f.write(GOOD_README)
+            with open(os.path.join(root, "docs", "GUIDE.md"), "w") as f:
+                f.write(GOOD_GUIDE)
+            if patch:
+                with open(os.path.join(root, patch[0]), "w") as f:
+                    f.write(patch[1])
+            # anchors_in caches by path; temp dirs are unique per case, so
+            # the cache cannot leak stale fixture state between cases.
+            sys.stdout.write(f"--- {name}\n")
+            rc = run(root)
+            ok = (rc != 0) == expect_fail
+            print(f"{'PASS' if ok else 'MISS'}: {name}")
+            misses += 0 if ok else 1
+    if misses:
+        print(f"self-test: {misses} case(s) missed")
+        return 1
+    print(f"self-test: all {len(cases)} cases behave")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    root = args[0] if args else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return run(root)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,378 @@
+#!/usr/bin/env python3
+"""Repo-contract lint: enforces conventions the compiler cannot see.
+
+Three checks, each meant to stop a specific silent-rot failure mode:
+
+1. naked-primitives — no `std::mutex` / `std::lock_guard` / `std::unique_lock`
+   / `std::scoped_lock` / `std::shared_lock` / `std::condition_variable*` /
+   `std::shared_mutex` outside src/common/thread_annotations.h. State behind
+   a naked primitive is invisible to Clang's thread-safety analysis, so one
+   naked mutex quietly exempts its fields from the -Werror=thread-safety CI
+   leg. Comments and string literals are stripped before matching.
+
+2. bench-names — every benchmark referenced by the CI smoke filter
+   (SMOKE_FILTER in .github/workflows/ci.yml) and every row in BENCH_*.json
+   must correspond to a BENCHMARK(...) registration in bench/*.cc. A renamed
+   benchmark otherwise keeps CI green while the smoke run silently matches
+   nothing and the perf gate diffs against a ghost.
+
+3. header-contracts — every header under src/ must carry the ownership /
+   thread-safety contract comment (a comment mentioning "ownership" and one
+   mentioning "thread"), the documentation contract established for kernel
+   headers in the serving-layer PR and extended repo-wide here.
+
+Usage:
+  python3 tools/lint_contracts.py [root]     lint the tree (root defaults to
+                                             the repo containing this script)
+  python3 tools/lint_contracts.py --self-test
+      run the lint against seeded-violation fixtures in a temp dir and fail
+      unless every seeded violation is caught and the clean fixture passes.
+
+Exit status 1 on any violation (or self-test miss), listing every offender.
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+import tempfile
+
+NAKED_PRIMITIVE = re.compile(
+    r"\bstd\s*::\s*("
+    r"mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable|condition_variable_any"
+    r")\b"
+)
+
+WRAPPER_HEADER = os.path.join("src", "common", "thread_annotations.h")
+
+# Leading identifier run of one SMOKE_FILTER regex alternative, e.g.
+# "ExecuteSpj(Seed|Typed)/10000$" -> "ExecuteSpj".
+FILTER_TOKEN = re.compile(r"^[A-Za-z0-9_]+")
+
+BENCHMARK_DECL = re.compile(r"\bBENCHMARK\s*\(\s*(BM_[A-Za-z0-9_]+)\s*\)")
+
+# The load harness (bench_load.cc) registers scenarios by string name
+# rather than the BENCHMARK macro, so BM_ names inside string literals are
+# registrations too.
+BENCHMARK_STRING = re.compile(r"\"(BM_[A-Za-z0-9_]+)")
+
+
+def split_top_level(expr, sep="|"):
+    """Split a regex on `sep` at paren depth 0 only, so nested groups like
+    Foo/(1|4)/ stay attached to their alternative."""
+    parts, depth, cur = [], 0, []
+    for ch in expr:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        if ch == sep and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    parts.append("".join(cur))
+    return parts
+
+
+def strip_comments_and_strings(text):
+    """Remove comments, string literals, and char literals from C++ source."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j  # keep the newline for line numbers
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def comment_text(text):
+    """Return just the comment contents of C++ source (inverse of strip)."""
+    chunks = re.findall(r"//[^\n]*|/\*.*?\*/", text, flags=re.DOTALL)
+    return "\n".join(chunks)
+
+
+def cxx_files(root, subdirs):
+    files = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for ext in ("h", "cc"):
+            files += glob.glob(os.path.join(base, "**", "*." + ext),
+                               recursive=True)
+    return sorted(files)
+
+
+def check_naked_primitives(root):
+    """No concurrency primitives outside the annotated wrapper header."""
+    errors = []
+    wrapper = os.path.join(root, WRAPPER_HEADER)
+    for path in cxx_files(root, ["src", "tests", "bench", "examples"]):
+        if os.path.abspath(path) == os.path.abspath(wrapper):
+            continue
+        with open(path, encoding="utf-8") as f:
+            code = strip_comments_and_strings(f.read())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            m = NAKED_PRIMITIVE.search(line)
+            if m:
+                rel = os.path.relpath(path, root)
+                errors.append(
+                    f"{rel}:{lineno}: naked std::{m.group(1)} — use the "
+                    f"annotated wrappers in {WRAPPER_HEADER} so the "
+                    f"thread-safety analysis can see this state")
+    return errors
+
+
+def declared_benchmarks(root):
+    names = set()
+    for path in cxx_files(root, ["bench"]):
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        names |= set(BENCHMARK_DECL.findall(strip_comments_and_strings(raw)))
+        # String registrations must not count when commented out, so strip
+        # comments but keep string literals for this pass.
+        no_comments = re.sub(r"//[^\n]*|/\*.*?\*/", "", raw, flags=re.DOTALL)
+        names |= set(BENCHMARK_STRING.findall(no_comments))
+    return names
+
+
+def smoke_filter_value(root):
+    ci = os.path.join(root, ".github", "workflows", "ci.yml")
+    if not os.path.exists(ci):
+        return None
+    with open(ci, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"\s*SMOKE_FILTER:\s*(.+?)\s*$", line)
+            if m:
+                return m.group(1).strip("'\"")
+    return None
+
+
+def check_bench_names(root):
+    """SMOKE_FILTER tokens and BENCH_*.json rows must name real benchmarks."""
+    errors = []
+    declared = declared_benchmarks(root)
+    if not declared:
+        return ["bench: no BENCHMARK(...) registrations found under bench/"]
+
+    smoke = smoke_filter_value(root)
+    if smoke is None:
+        errors.append("bench: SMOKE_FILTER not found in "
+                      ".github/workflows/ci.yml")
+    else:
+        for alternative in split_top_level(smoke):
+            m = FILTER_TOKEN.match(alternative)
+            if not m:
+                continue  # pure-metachar fragment of a nested group
+            token = m.group(0)
+            if not any(token in name for name in declared):
+                errors.append(
+                    f"ci.yml: SMOKE_FILTER token '{token}' matches no "
+                    f"BENCHMARK registration in bench/ — the smoke run "
+                    f"would silently skip it")
+
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                errors.append(f"{rel}: invalid JSON: {e}")
+                continue
+        for row in doc.get("benchmarks", []):
+            base = row.get("name", "").split("/", 1)[0]
+            if base not in declared:
+                errors.append(
+                    f"{rel}: baseline row '{row.get('name')}' names "
+                    f"benchmark '{base}' which is not registered in bench/ "
+                    f"— stale baseline, regenerate or rename")
+    return errors
+
+
+def check_header_contracts(root):
+    """Every src/ header documents ownership and thread-safety in comments."""
+    errors = []
+    for path in cxx_files(root, ["src"]):
+        if not path.endswith(".h"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            comments = comment_text(f.read())
+        missing = []
+        if not re.search(r"ownership", comments, re.IGNORECASE):
+            missing.append("ownership")
+        if not re.search(r"thread", comments, re.IGNORECASE):
+            missing.append("thread-safety")
+        if missing:
+            rel = os.path.relpath(path, root)
+            errors.append(
+                f"{rel}: header lacks the {' and '.join(missing)} contract "
+                f"comment (see src/common/thread_annotations.h for the "
+                f"convention)")
+    return errors
+
+
+CHECKS = [
+    ("naked-primitives", check_naked_primitives),
+    ("bench-names", check_bench_names),
+    ("header-contracts", check_header_contracts),
+]
+
+
+def run_lint(root, quiet=False):
+    failures = 0
+    for name, check in CHECKS:
+        errors = check(root)
+        for err in errors:
+            if not quiet:
+                print(f"[{name}] {err}")
+        failures += len(errors)
+    if not quiet:
+        if failures:
+            print(f"lint_contracts: {failures} violation(s)")
+        else:
+            print("lint_contracts: all contracts hold")
+    return failures
+
+
+# ---- self-test --------------------------------------------------------------
+# Builds a miniature repo in a temp dir, seeds one violation per check, and
+# asserts the lint catches each one — so a refactor of the lint itself cannot
+# silently stop enforcing.
+
+CLEAN_HEADER = """\
+// Widget registry.
+//
+// Ownership and thread-safety: the registry owns its widgets; all methods
+// are thread-compatible (external synchronization required).
+#ifndef MINI_SRC_WIDGET_H_
+#define MINI_SRC_WIDGET_H_
+struct Widget {};
+#endif
+"""
+
+CLEAN_BENCH = """\
+#include <cstdint>
+void BM_Widget(int64_t);  // placeholder: "std::mutex" in strings is ignored
+BENCHMARK(BM_Widget);
+const char* kScenario = "BM_Gadget/4";  // string registration (load harness)
+// const char* kRetired = "BM_Retired/4";  // commented out: must not count
+"""
+
+CLEAN_CI = """\
+env:
+  SMOKE_FILTER: 'Widget/10$'
+"""
+
+CLEAN_JSON = '{"benchmarks": [{"name": "BM_Widget/10"}]}\n'
+
+
+def write_fixture(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def make_clean_tree(root):
+    write_fixture(root, os.path.join("src", "widget.h"), CLEAN_HEADER)
+    write_fixture(root, os.path.join("bench", "bench_widget.cc"), CLEAN_BENCH)
+    write_fixture(root, os.path.join(".github", "workflows", "ci.yml"),
+                  CLEAN_CI)
+    write_fixture(root, "BENCH_widget.json", CLEAN_JSON)
+
+
+def self_test():
+    cases = []
+
+    def case(name, mutate, expect_fail):
+        cases.append((name, mutate, expect_fail))
+
+    case("clean tree passes", lambda root: None, False)
+    case("naked std::mutex caught",
+         lambda root: write_fixture(
+             root, os.path.join("src", "naked.cc"),
+             '#include <mutex>\nstd::mutex mu;  // seeded violation\n'),
+         True)
+    case("naked primitive inside comment NOT flagged",
+         lambda root: write_fixture(
+             root, os.path.join("src", "commented.cc"),
+             '// std::mutex is banned here; see thread_annotations.h\n'
+             'int x = 0;\n'),
+         False)
+    case("nested-group SMOKE_FILTER alternative accepted",
+         lambda root: write_fixture(
+             root, os.path.join(".github", "workflows", "ci.yml"),
+             "env:\n  SMOKE_FILTER: 'Widget(/10|/20)$|Gadget/(1|4)/'\n"),
+         False)
+    case("string-registered benchmark accepted",
+         lambda root: write_fixture(
+             root, "BENCH_widget.json",
+             '{"benchmarks": [{"name": "BM_Gadget/4"}]}\n'),
+         False)
+    case("commented-out string registration NOT counted",
+         lambda root: write_fixture(
+             root, "BENCH_widget.json",
+             '{"benchmarks": [{"name": "BM_Retired/4"}]}\n'),
+         True)
+    case("unknown SMOKE_FILTER token caught",
+         lambda root: write_fixture(
+             root, os.path.join(".github", "workflows", "ci.yml"),
+             "env:\n  SMOKE_FILTER: 'Widget/10$|Ghost/8$'\n"),
+         True)
+    case("stale BENCH_*.json row caught",
+         lambda root: write_fixture(
+             root, "BENCH_widget.json",
+             '{"benchmarks": [{"name": "BM_Renamed/10"}]}\n'),
+         True)
+    case("header without contract comment caught",
+         lambda root: write_fixture(
+             root, os.path.join("src", "bare.h"),
+             "#ifndef MINI_SRC_BARE_H_\n#define MINI_SRC_BARE_H_\n"
+             "struct Bare {};\n#endif\n"),
+         True)
+
+    misses = 0
+    for name, mutate, expect_fail in cases:
+        with tempfile.TemporaryDirectory() as root:
+            make_clean_tree(root)
+            mutate(root)
+            failures = run_lint(root, quiet=True)
+            ok = (failures > 0) == expect_fail
+            print(f"{'PASS' if ok else 'MISS'}: {name}")
+            misses += 0 if ok else 1
+    if misses:
+        print(f"self-test: {misses} case(s) missed")
+        return 1
+    print(f"self-test: all {len(cases)} cases behave")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    root = args[0] if args else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return 1 if run_lint(root) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
