@@ -133,6 +133,12 @@ struct ScenarioResult {
   double p50_ms = 0;
   double p99_ms = 0;
   double hit_rate = 0;
+  /// Resident-APT-state high-water mark and total shards materialized,
+  /// from the server's counters (whole scenario including warmup — the
+  /// peak is exactly what warmup's cold misses establish). With
+  /// CAJADE_APT_SHARD_ROWS set the peak is what the shard bound caps.
+  size_t peak_apt_bytes = 0;
+  size_t apt_shards = 0;
   bool gated = false;
 };
 
@@ -266,6 +272,8 @@ ScenarioResult RunScenario(const Database& db, const SchemaGraph& sg,
                        ? static_cast<double>(hits) /
                              static_cast<double>(hits + misses)
                        : 0;
+    cur.peak_apt_bytes = after.peak_apt_bytes;
+    cur.apt_shards = after.apt_shards;
     cur.gated = sc.gated;
     if (std::getenv("CAJADE_LAT_DUMP") != nullptr) {
       std::fprintf(stderr, "%s attempt %zu ladder:", sc.name.c_str(),
@@ -350,8 +358,9 @@ int Main(int argc, char** argv) {
 
   BenchJsonWriter json;
   std::vector<ScenarioResult> results;
-  std::printf("%-24s %8s %9s %12s %9s %9s %8s\n", "scenario", "clients",
-              "requests", "thruput r/s", "p50 ms", "p99 ms", "hit%");
+  std::printf("%-24s %8s %9s %12s %9s %9s %8s %12s %8s\n", "scenario",
+              "clients", "requests", "thruput r/s", "p50 ms", "p99 ms",
+              "hit%", "peak apt B", "shards");
   for (const Scenario& sc : scenarios) {
     // Gated rows get a few measured-phase attempts (one warmed server):
     // the criterion asserts a property of the server, and any single
@@ -359,9 +368,10 @@ int Main(int argc, char** argv) {
     size_t attempts = gate && sc.gated ? 8 : 1;
     ScenarioResult r = RunScenario(db, sg, sc, repeat_frac, zipf_s, attempts);
     results.push_back(r);
-    std::printf("%-24s %8zu %9zu %12.1f %9.3f %9.3f %7.1f%%\n",
+    std::printf("%-24s %8zu %9zu %12.1f %9.3f %9.3f %7.1f%% %12zu %8zu\n",
                 r.name.c_str(), r.clients, r.requests, r.throughput_rps,
-                r.p50_ms, r.p99_ms, 100 * r.hit_rate);
+                r.p50_ms, r.p99_ms, 100 * r.hit_rate, r.peak_apt_bytes,
+                r.apt_shards);
     if (r.errors != 0) {
       std::fprintf(stderr, "%zu requests failed in %s\n", r.errors,
                    r.name.c_str());
@@ -383,6 +393,8 @@ int Main(int argc, char** argv) {
         {"p50_ms", r.p50_ms},
         {"p99_ms", r.p99_ms},
         {"hit_rate", r.hit_rate},
+        {"peak_apt_bytes", static_cast<double>(r.peak_apt_bytes)},
+        {"apt_shards", static_cast<double>(r.apt_shards)},
     };
     if (r.name == "BM_ServeLoad/8" && serial_rps > 0) {
       counters.emplace_back("speedup_vs_serial",

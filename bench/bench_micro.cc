@@ -680,6 +680,49 @@ void BM_MaterializeAptKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_MaterializeAptKernel);
 
+/// Sharded materialization of the same PT-A-B graph at 8 shards (shard size
+/// kRows/8), serial shard loop — the honest configuration for the 1-core
+/// container. Wall time must stay close to BM_MaterializeAptKernel (the
+/// bench_diff gate allows 25%); the headline is `peak_state_bytes`, the
+/// high-water resident join-state footprint, reported next to the unsharded
+/// path's peak for the same graph.
+void BM_MaterializeAptSharded(benchmark::State& state) {
+  auto& fx = AptBenchFixture::Get();
+  AptIndexCache index_cache;
+  StatsCatalog stats;
+  AptMaterializeOptions options;
+  options.index_cache = &index_cache;
+  options.stats = &stats;
+  size_t unsharded_peak = [&] {
+    AptMaterializeMetrics m;
+    AptMaterializeOptions o = options;
+    o.metrics = &m;
+    (void)MaterializeApt(fx.pt, fx.rows, fx.g_ab, fx.sg, fx.db, o);
+    return m.peak_state_bytes.load();
+  }();
+  const size_t shard_rows = (fx.rows.size() + 7) / 8;
+  AptMaterializeMetrics metrics;
+  options.metrics = &metrics;
+  size_t apt_rows = 0;
+  size_t num_shards = 0;
+  for (auto _ : state) {
+    metrics.peak_state_bytes.store(0);
+    auto sharded = MaterializeAptSharded(fx.pt, fx.rows, fx.g_ab, fx.sg,
+                                         fx.db, options, shard_rows);
+    const ShardedApt& apt = sharded.ValueOrDie();
+    apt_rows = apt.num_rows();
+    num_shards = apt.shards.size();
+    benchmark::DoNotOptimize(apt_rows);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.rows.size());
+  state.counters["apt_rows"] = static_cast<double>(apt_rows);
+  state.counters["num_shards"] = static_cast<double>(num_shards);
+  state.counters["peak_state_bytes"] =
+      static_cast<double>(metrics.peak_state_bytes.load());
+  state.counters["unsharded_peak_bytes"] = static_cast<double>(unsharded_peak);
+}
+BENCHMARK(BM_MaterializeAptSharded);
+
 /// Materializes the PT-A-B-{C,D} sibling family with a persistent prefix
 /// cache (the timed, warm path: only each graph's last join runs) and
 /// reports `speedup_warm_vs_cold` against a cold run that starts from an

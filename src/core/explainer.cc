@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -188,6 +189,26 @@ Result<ExplainResult> Explainer::ExplainPrepared(
   // One fingerprint for the whole fan-out: every graph shares this
   // (pt, pt_rows) pair, so don't re-hash the row selection per graph.
   apt_options.pt_fingerprint = prepared.pt_fingerprint;
+  // Observability shared across the fan-out (atomic): peak resident state
+  // bytes and shard counts, copied into the result after the merge.
+  AptMaterializeMetrics apt_metrics;
+  apt_options.metrics = &apt_metrics;
+  // The pool serves two fan-outs: graphs here, and — with apt_shard_rows
+  // > 0 — shards inside each graph's materialization (ParallelFor nests
+  // safely). Hoisted so a single-graph sharded request still parallelizes.
+  const bool sharded = config_.apt_shard_rows > 0;
+  size_t threads = WorkerPool::ResolveThreads(config_.num_threads);
+  std::unique_ptr<WorkerPool> local_pool;
+  WorkerPool* pool = nullptr;
+  if (threads > 1) {
+    if (shared_pool_ != nullptr) {
+      pool = shared_pool_;
+    } else if (graphs.size() > 1 || sharded) {
+      local_pool = std::make_unique<WorkerPool>(threads);
+      pool = local_pool.get();
+    }
+  }
+  apt_options.pool = pool;
   // A hard error on any graph stops work on graphs not yet started (the
   // serial path's short-circuit). The merge below reports the error of the
   // lowest-index graph that *fails when executed* — exactly what the serial
@@ -200,29 +221,51 @@ Result<ExplainResult> Explainer::ExplainPrepared(
     const JoinGraph& graph = graphs[gi];
     GraphOutcome& oc = outcomes[gi];
     oc.ran = true;
+    // Sharded and unsharded paths differ only in APT representation; the
+    // miner consumes either through AptSliceSet and returns bit-identical
+    // results (the diff tests pin this).
     Apt apt;
+    ShardedApt sapt;
     {
       ScopedStep step(&oc.profile, "Materialize APTs");
-      Result<Apt> apt_result =
-          MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_, apt_options);
-      if (!apt_result.ok()) {
-        if (apt_result.status().code() == StatusCode::kOutOfRange) {
+      Status mat_status = Status::OK();
+      if (sharded) {
+        Result<ShardedApt> r =
+            MaterializeAptSharded(pt, pt_rows, graph, *schema_graph_, *db_,
+                                  apt_options, config_.apt_shard_rows);
+        if (r.ok()) {
+          sapt = std::move(r).MoveValue();
+        } else {
+          mat_status = r.status();
+        }
+      } else {
+        Result<Apt> r =
+            MaterializeApt(pt, pt_rows, graph, *schema_graph_, *db_, apt_options);
+        if (r.ok()) {
+          apt = std::move(r).MoveValue();
+        } else {
+          mat_status = r.status();
+        }
+      }
+      if (!mat_status.ok()) {
+        if (mat_status.code() == StatusCode::kOutOfRange) {
           // Cost-estimate miss: the APT blew past the hard cap.
           oc.skipped_oversize = true;
         } else {
-          oc.status = apt_result.status();
+          oc.status = mat_status;
           abort_remaining.store(true, std::memory_order_relaxed);
         }
         return;
       }
-      apt = std::move(apt_result).MoveValue();
     }
-    if (apt.num_rows() == 0) {
+    if ((sharded ? sapt.num_rows() : apt.num_rows()) == 0) {
       return;  // context join eliminated all provenance
     }
     Rng graph_rng = graph_rngs[gi];
     PatternMiner miner(&config_, &oc.profile);
-    Result<MineResult> mine_result = miner.Mine(apt, classes, &graph_rng);
+    Result<MineResult> mine_result = sharded
+                                         ? miner.Mine(sapt, classes, &graph_rng)
+                                         : miner.Mine(apt, classes, &graph_rng);
     if (!mine_result.ok()) {
       oc.status = mine_result.status();
       abort_remaining.store(true, std::memory_order_relaxed);
@@ -231,11 +274,12 @@ Result<ExplainResult> Explainer::ExplainPrepared(
     MineResult mined = std::move(mine_result).MoveValue();
     oc.mined = true;
     oc.patterns_evaluated = mined.patterns_evaluated;
+    const Table& describe_table = sharded ? sapt.schema_table() : apt.table;
     for (const auto& mp : mined.top_k) {
       Explanation e;
       e.join_graph = graph.Describe();
       e.join_conditions = graph.DescribeEdges(*schema_graph_);
-      e.pattern = mp.pattern.Describe(apt.table);
+      e.pattern = mp.pattern.Describe(describe_table);
       e.primary = mp.primary;
       e.primary_tuple = mp.primary == 0 ? out.t1_description
                                         : out.t2_description;
@@ -272,17 +316,16 @@ Result<ExplainResult> Explainer::ExplainPrepared(
     }
   };
 
-  size_t threads = WorkerPool::ResolveThreads(config_.num_threads);
-  if (threads <= 1 || graphs.size() <= 1) {
+  if (pool == nullptr || graphs.size() <= 1) {
+    // Serial over graphs; a sharded materialization inside still fans its
+    // shards across `pool` when one exists (single-graph requests).
     for (size_t gi = 0; gi < graphs.size(); ++gi) process_graph(gi);
-  } else if (shared_pool_ != nullptr) {
-    // Serving layer: this request's graphs are one task group on the shared
-    // pool; ParallelFor completes when exactly these iterations finish,
-    // independent of other requests' loops in flight on the same workers.
-    shared_pool_->ParallelFor(graphs.size(), process_graph);
   } else {
-    WorkerPool pool(std::min(threads, graphs.size()));
-    pool.ParallelFor(graphs.size(), process_graph);
+    // With the serving layer's shared pool, this request's graphs are one
+    // task group; ParallelFor completes when exactly these iterations
+    // finish, independent of other requests' loops in flight on the same
+    // workers.
+    pool->ParallelFor(graphs.size(), process_graph);
   }
 
   // Deterministic error reporting: surface the error of the lowest-index
@@ -327,6 +370,9 @@ Result<ExplainResult> Explainer::ExplainPrepared(
       out.explanations.push_back(std::move(e));
     }
   }
+  out.peak_apt_bytes =
+      apt_metrics.peak_state_bytes.load(std::memory_order_relaxed);
+  out.apt_shards = apt_metrics.shards.load(std::memory_order_relaxed);
 
   // Global ranking across join graphs by F-score. stable_sort over the
   // enumeration-ordered list fixes equal-F-score ties by graph index, so

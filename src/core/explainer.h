@@ -78,6 +78,15 @@ struct ExplainResult {
   size_t apts_mined = 0;
   size_t apts_skipped_oversize = 0;
   size_t patterns_evaluated = 0;
+  /// High-water mark of any single resident APT join state's approximate
+  /// bytes during materialization (ApproxStateBytes). With
+  /// CajadeConfig::apt_shard_rows > 0 this is the quantity the shard bound
+  /// caps: shards replace whole-APT states, so the peak shrinks with the
+  /// shard size instead of growing with the largest APT.
+  size_t peak_apt_bytes = 0;
+  /// Total APT shards materialized across all mined join graphs (1 per
+  /// graph on the unsharded path).
+  size_t apt_shards = 0;
   std::string t1_description;
   std::string t2_description;
 };

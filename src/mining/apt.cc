@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_pool.h"
 
 namespace cajade {
 
@@ -54,14 +55,51 @@ Result<int> ResolvePtColumn(const ProvenanceTable& pt, const std::string& relati
                                   attribute.c_str()));
 }
 
-}  // namespace
-
-bool Apt::PtRowIsIdentity() const {
-  if (pt_row.size() != pt_rows_used.size()) return false;
+/// True when `pt_row` maps row r to PT position r for all of
+/// `num_positions` positions — shared by Apt::PtRowIsIdentity and the
+/// single-slice check in MakeSliceSet.
+bool PtRowIdentity(const std::vector<int32_t>& pt_row, size_t num_positions) {
+  if (pt_row.size() != num_positions) return false;
   for (size_t r = 0; r < pt_row.size(); ++r) {
     if (pt_row[r] != static_cast<int32_t>(r)) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool Apt::PtRowIsIdentity() const {
+  return PtRowIdentity(pt_row, pt_rows_used.size());
+}
+
+AptSliceSet MakeSliceSet(const Apt& apt) {
+  AptSliceSet ss;
+  ss.slices.push_back(AptSlice{&apt.table, &apt.pt_row});
+  ss.pt_rows_used = &apt.pt_rows_used;
+  ss.pattern_cols = &apt.pattern_cols;
+  ss.num_pt_columns = apt.num_pt_columns;
+  ss.total_rows = apt.num_rows();
+  ss.pt_identity = apt.PtRowIsIdentity();
+  return ss;
+}
+
+AptSliceSet MakeSliceSet(const ShardedApt& apt) {
+  AptSliceSet ss;
+  ss.slices.reserve(apt.shards.size());
+  for (const AptShard& s : apt.shards) {
+    ss.slices.push_back(AptSlice{&s.table, &s.pt_row});
+  }
+  ss.pt_rows_used = &apt.pt_rows_used;
+  ss.pattern_cols = &apt.pattern_cols;
+  ss.num_pt_columns = apt.num_pt_columns;
+  ss.total_rows = apt.total_rows;
+  // The identity shortcut only applies to a single slice: multi-shard
+  // pt_rows are global, but the miner's shortcut scores one slice's row
+  // mask directly as the coverage set.
+  ss.pt_identity = apt.shards.size() == 1 &&
+                   PtRowIdentity(apt.shards.front().pt_row,
+                                 apt.pt_rows_used.size());
+  return ss;
 }
 
 // Hashes the PT's shape (schema, relations, group-by attributes), its cell
@@ -337,6 +375,11 @@ size_t AptIndexCache::bytes_in_use() const {
   return bytes_;
 }
 
+size_t AptIndexCache::peak_bytes() const {
+  MutexLock lock(mu_);
+  return peak_bytes_;
+}
+
 AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
                                            const std::vector<int>& cols,
                                            const TableStats* stats) {
@@ -398,6 +441,7 @@ AptIndexCache::IndexPtr AptIndexCache::Get(const Table& base,
     entry->lru_it = lru_.begin();
     entry->in_lru = true;
     bytes_ += entry->bytes;
+    if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
     // May evict the entry just inserted when it alone exceeds the bound;
     // the returned shared_ptr keeps the index alive for this caller.
     EvictOverLimitLocked();
@@ -439,6 +483,11 @@ size_t AptPrefixCache::max_bytes() const {
 size_t AptPrefixCache::bytes_in_use() const {
   MutexLock lock(mu_);
   return bytes_;
+}
+
+size_t AptPrefixCache::peak_bytes() const {
+  MutexLock lock(mu_);
+  return peak_bytes_;
 }
 
 Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
@@ -514,6 +563,7 @@ Result<AptPrefixCache::StatePtr> AptPrefixCache::GetOrBuild(
     entry->lru_it = lru_.begin();
     entry->in_lru = true;
     bytes_ += entry->bytes;
+    if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
     // May evict the entry just inserted when it alone exceeds the bound;
     // the returned shared_ptr keeps the state alive for this caller.
     EvictOverLimitLocked();
@@ -567,6 +617,12 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
     cur_is_local = true;
     cur = &local_cur;
   }
+  // Peak-resident observability, recorded identically by the sharded path
+  // so the two are comparable: every resident join state (base and each
+  // step output, built or cache-hit) bumps the high-water mark.
+  if (options.metrics != nullptr) {
+    options.metrics->RecordStateBytes(AptPrefixCache::ApproxStateBytes(*cur));
+  }
 
   size_t running_cols = pt.table.num_columns();
   for (size_t si = 0; si < plan.steps.size(); ++si) {
@@ -601,6 +657,10 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
       local_cur = std::move(next);
       cur_is_local = true;
       cur = &local_cur;
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->RecordStateBytes(
+          AptPrefixCache::ApproxStateBytes(*cur));
     }
     if (!step.cycle) {
       node_offset[step.new_node] = static_cast<int>(running_cols);
@@ -639,6 +699,9 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
     }
     if (!excluded) apt.pattern_cols.push_back(static_cast<int>(c));
   }
+  if (options.metrics != nullptr) {
+    options.metrics->shards.fetch_add(1, std::memory_order_relaxed);
+  }
   return apt;
 }
 
@@ -651,6 +714,301 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
   options.index_cache = cache;
   options.row_limit = row_limit;
   return MaterializeApt(pt, pt_rows, graph, schema_graph, db, options);
+}
+
+// ---- MaterializeAptSharded --------------------------------------------------
+
+namespace {
+
+/// Base state of the shard covering positions [begin, end) of pt_rows.
+/// pt_row entries are offset to GLOBAL positions, so states propagate
+/// global coverage positions through every step and per-shard coverage
+/// sets OR directly into one PT-wide bitmap.
+Result<AptJoinState> BuildShardBaseState(const ProvenanceTable& pt,
+                                         const std::vector<int64_t>& pt_rows,
+                                         size_t begin, size_t end) {
+  const std::vector<int64_t> sub(pt_rows.begin() + begin,
+                                 pt_rows.begin() + end);
+  ASSIGN_OR_RETURN(AptJoinState state, BuildBaseState(pt, sub));
+  for (int32_t& v : state.pt_row) v += static_cast<int32_t>(begin);
+  return state;
+}
+
+/// Re-runs a failed sharded materialization serially, STEP-major and
+/// uncached, to surface the exact error the unsharded path would have:
+/// shard-major schedules can pass a later step on one shard before an
+/// earlier step's cross-shard row total has tripped the limit, making the
+/// first-recorded error (OutOfRange vs. a bind error) schedule-dependent.
+/// Step-major order restores the unsharded precedence — a step's
+/// resolution errors fire before its probes, and the row limit trips when
+/// the step's output summed across shards (== the unsharded step output,
+/// in row order) first exceeds the cap. Only runs on the error path, so
+/// its serial cost is irrelevant.
+Status DeterministicShardedError(const ProvenanceTable& pt,
+                                 const std::vector<int64_t>& pt_rows,
+                                 const JoinGraph& graph,
+                                 const SchemaGraph& schema_graph,
+                                 const Database& db,
+                                 const AptMaterializeOptions& options,
+                                 const AptPlan& plan, size_t per,
+                                 size_t num_shards) {
+  AptIndexCache local_cache;
+  AptIndexCache* index_cache =
+      options.index_cache != nullptr ? options.index_cache : &local_cache;
+  const size_t n = pt_rows.size();
+
+  std::vector<AptJoinState> states(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t b = s * per;
+    const size_t e = std::min(n, b + per);
+    auto built = BuildShardBaseState(pt, pt_rows, b, e);
+    if (!built.ok()) return built.status();
+    states[s] = std::move(built).MoveValue();
+  }
+
+  std::vector<int> node_offset(graph.nodes().size(), -1);
+  StepContext ctx{&pt,         &graph,        &schema_graph,     &db,
+                  index_cache, options.stats, options.row_limit, &node_offset};
+  size_t running_cols = pt.table.num_columns();
+  for (const AptStep& step : plan.steps) {
+    size_t total = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      // Per-shard probes keep the full cap (a single shard over the limit
+      // implies the total is, and the message embeds the original limit);
+      // the cumulative check below catches totals no single shard trips.
+      auto next = ApplyAptStep(states[s], step, ctx);
+      if (!next.ok()) return next.status();
+      states[s] = std::move(next).MoveValue();
+      if (!step.cycle) {
+        total += states[s].table.num_rows();
+        if (ctx.row_limit > 0 && total > ctx.row_limit) {
+          return Status::OutOfRange(
+              Format("APT exceeds row limit %zu for join graph %s",
+                     ctx.row_limit, graph.Describe().c_str()));
+        }
+      }
+    }
+    if (!step.cycle) {
+      // Column offsets are shard-independent (identical schemas), so one
+      // shared node_offset serves every shard.
+      node_offset[step.new_node] = static_cast<int>(running_cols);
+      running_cols = states[0].table.num_columns();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardedApt> MaterializeAptSharded(const ProvenanceTable& pt,
+                                         const std::vector<int64_t>& pt_rows,
+                                         const JoinGraph& graph,
+                                         const SchemaGraph& schema_graph,
+                                         const Database& db,
+                                         const AptMaterializeOptions& options,
+                                         size_t shard_rows) {
+  AptIndexCache local_cache;
+  AptIndexCache* index_cache =
+      options.index_cache != nullptr ? options.index_cache : &local_cache;
+  AptPrefixCache* prefix_cache = options.prefix_cache;
+
+  ASSIGN_OR_RETURN(AptPlan plan, PlanAptSteps(graph));
+
+  const size_t n = pt_rows.size();
+  // 0 or >= |pt_rows| collapses to one full-range shard; an empty
+  // selection still gets one (empty) shard so schema_table() exists.
+  const size_t per =
+      (shard_rows == 0 || shard_rows >= n) ? (n > 0 ? n : 1) : shard_rows;
+  const size_t num_shards = n > 0 ? (n + per - 1) / per : 1;
+
+  std::string base_key;
+  if (prefix_cache != nullptr) {
+    base_key = options.pt_fingerprint.empty() ? AptPtFingerprint(pt, pt_rows)
+                                              : options.pt_fingerprint;
+  }
+
+  std::vector<AptShard> shards(num_shards);
+  std::vector<Status> shard_status(num_shards, Status::OK());
+  std::vector<std::exception_ptr> shard_exception(num_shards);
+  // Cross-shard step-output totals: sum over shards of a tree step's rows
+  // equals the unsharded step's output, so the limit check composes.
+  std::vector<std::atomic<size_t>> step_total(plan.steps.size());
+  for (auto& t : step_total) t.store(0, std::memory_order_relaxed);
+  std::atomic<bool> abort{false};
+
+  auto run_shard = [&](size_t s) {
+    try {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const size_t b = s * per;
+      const size_t e = std::min(n, b + per);
+
+      std::vector<int> node_offset(graph.nodes().size(), -1);
+      StepContext ctx{&pt,         &graph,        &schema_graph,     &db,
+                      index_cache, options.stats, options.row_limit,
+                      &node_offset};
+
+      auto fail = [&](Status st) {
+        shard_status[s] = std::move(st);
+        abort.store(true, std::memory_order_relaxed);
+      };
+
+      // Current state handling mirrors MaterializeApt: shared when from
+      // the prefix cache, local otherwise; steps never mutate inputs.
+      AptPrefixCache::StatePtr shared_cur;
+      AptJoinState local_cur;
+      bool cur_is_local = false;
+      const AptJoinState* cur = nullptr;
+
+      std::string prefix_key;
+      if (prefix_cache != nullptr) {
+        prefix_key = base_key;
+        if (!(b == 0 && e == n)) {
+          // Partial-range states must never alias the unsharded states (or
+          // other shard sizes'). The full-range shard shares the plain key
+          // on purpose: its states are byte-identical to the unsharded
+          // ones, so sharded and unsharded callers warm each other.
+          prefix_key += Format("|shard:%zu-%zu", b, e);
+        }
+        auto got = prefix_cache->GetOrBuild(prefix_key, [&] {
+          return BuildShardBaseState(pt, pt_rows, b, e);
+        });
+        if (!got.ok()) return fail(got.status());
+        shared_cur = std::move(got).MoveValue();
+        cur = shared_cur.get();
+      } else {
+        auto built = BuildShardBaseState(pt, pt_rows, b, e);
+        if (!built.ok()) return fail(built.status());
+        local_cur = std::move(built).MoveValue();
+        cur_is_local = true;
+        cur = &local_cur;
+      }
+      if (options.metrics != nullptr) {
+        options.metrics->RecordStateBytes(
+            AptPrefixCache::ApproxStateBytes(*cur));
+      }
+
+      size_t running_cols = pt.table.num_columns();
+      for (size_t si = 0; si < plan.steps.size(); ++si) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        const AptStep& step = plan.steps[si];
+        const bool last = si + 1 == plan.steps.size();
+        if (prefix_cache != nullptr && !last) {
+          prefix_key += '|';
+          prefix_key += AptStepSignature(graph, schema_graph, step);
+          const AptJoinState* prev = cur;
+          auto got = prefix_cache->GetOrBuild(
+              prefix_key, [&]() -> Result<AptJoinState> {
+                return ApplyAptStep(*prev, step, ctx);
+              });
+          if (!got.ok()) return fail(got.status());
+          shared_cur = std::move(got).MoveValue();
+          cur = shared_cur.get();
+          cur_is_local = false;
+        } else {
+          auto next = ApplyAptStep(*cur, step, ctx);
+          if (!next.ok()) return fail(next.status());
+          local_cur = std::move(next).MoveValue();
+          cur_is_local = true;
+          cur = &local_cur;
+        }
+        if (options.metrics != nullptr) {
+          options.metrics->RecordStateBytes(
+              AptPrefixCache::ApproxStateBytes(*cur));
+        }
+        if (!step.cycle) {
+          // Covers both fresh builds and cache hits (a cached state may
+          // have been built under a larger cap — the unsharded path
+          // rechecks those too, and shard rows count toward the total
+          // either way).
+          const size_t rows = cur->table.num_rows();
+          const size_t total =
+              step_total[si].fetch_add(rows, std::memory_order_relaxed) +
+              rows;
+          if (ctx.row_limit > 0 && total > ctx.row_limit) {
+            return fail(Status::OutOfRange(
+                Format("APT exceeds row limit %zu for join graph %s",
+                       ctx.row_limit, graph.Describe().c_str())));
+          }
+          node_offset[step.new_node] = static_cast<int>(running_cols);
+          running_cols = cur->table.num_columns();
+        }
+      }
+
+      AptShard& out = shards[s];
+      out.pt_begin = b;
+      out.pt_end = e;
+      if (cur_is_local) {
+        out.table = std::move(local_cur.table);
+        out.pt_row = std::move(local_cur.pt_row);
+      } else {
+        // Final state shared with the cache (the edgeless PT-only graph):
+        // deep-copy out so the shard owns its table.
+        out.table = cur->table;
+        out.pt_row = cur->pt_row;
+      }
+    } catch (...) {
+      // WorkerPool tasks must not throw; recorded failures are re-derived
+      // (or rethrown) deterministically below.
+      shard_exception[s] = std::current_exception();
+      abort.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (options.pool != nullptr && num_shards > 1) {
+    options.pool->ParallelFor(num_shards, run_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) run_shard(s);
+  }
+
+  bool failed = false;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!shard_status[s].ok() || shard_exception[s]) failed = true;
+  }
+  if (failed) {
+    Status st = DeterministicShardedError(pt, pt_rows, graph, schema_graph,
+                                          db, options, plan, per, num_shards);
+    if (!st.ok()) return st;
+    // Backstop for failures the deterministic re-run does not reproduce
+    // (transient exceptions): surface the lowest shard's record.
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_exception[s]) std::rethrow_exception(shard_exception[s]);
+      if (!shard_status[s].ok()) return shard_status[s];
+    }
+    return Status::Internal("sharded APT materialization failed");
+  }
+
+  for (size_t v = 0; v < graph.nodes().size(); ++v) {
+    if (!plan.joined[v]) {
+      return Status::InvalidArgument(
+          "join graph is disconnected: node '" + graph.nodes()[v].label +
+          "' unreachable from PT");
+    }
+  }
+
+  ShardedApt apt;
+  apt.pt_rows_used = pt_rows;
+  apt.num_pt_columns = pt.table.schema().num_columns();
+  apt.shards = std::move(shards);
+  for (const AptShard& s : apt.shards) apt.total_rows += s.table.num_rows();
+
+  // Pattern-eligible columns from shard 0's (identical-across-shards)
+  // schema, with the same exclusions as the unsharded path.
+  const Table& schema_table = apt.shards.front().table;
+  for (size_t c = 0; c < schema_table.num_columns(); ++c) {
+    if (schema_table.schema().column(c).mining_excluded) continue;
+    bool excluded = false;
+    for (int g : pt.group_by_pt_cols) {
+      if (static_cast<size_t>(g) == c) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) apt.pattern_cols.push_back(static_cast<int>(c));
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->shards.fetch_add(num_shards, std::memory_order_relaxed);
+  }
+  return apt;
 }
 
 // ---- ReferenceMaterializeApt ------------------------------------------------

@@ -14,6 +14,12 @@
 // differential-testing oracle and bench baseline (mirroring
 // ReferenceHashEquiJoin / ReferenceExecuteSpj).
 //
+// MaterializeAptSharded materializes the same APT as a sequence of
+// row-range shards (ShardedApt) that are never concatenated; the miner
+// consumes either representation through the borrowed AptSliceSet view.
+// The unsharded path stays the differential oracle: concat(shards) is
+// byte-identical to it, and errors (row-limit trips included) match.
+//
 // Ownership and thread-safety: APT values own their column storage and
 // belong to the caller. The caches below own their entries and hand out
 // shared handles (shared_ptr / shared_future); their locking is annotated
@@ -40,6 +46,8 @@
 #include "src/stats/table_stats.h"
 
 namespace cajade {
+
+class WorkerPool;
 
 /// \brief Cross-join-graph cache of build-side join indexes on context
 /// relations.
@@ -103,6 +111,9 @@ class AptIndexCache {
   size_t max_bytes() const EXCLUDES(mu_);
   /// Bytes held by cached indexes (JoinBuildIndex::ApproxBytes accounting).
   size_t bytes_in_use() const EXCLUDES(mu_);
+  /// High-water mark of bytes_in_use() since construction: the observable
+  /// peak-resident-bytes bound the serving layer reports.
+  size_t peak_bytes() const EXCLUDES(mu_);
 
  private:
   /// Entry fields are protected by the shared_future protocol, not mu_:
@@ -128,6 +139,7 @@ class AptIndexCache {
   std::list<std::string> lru_ GUARDED_BY(mu_);
   size_t max_bytes_ GUARDED_BY(mu_);
   size_t bytes_ GUARDED_BY(mu_) = 0;
+  size_t peak_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> builds_{0};
   std::atomic<size_t> evictions_{0};
@@ -189,6 +201,10 @@ class AptPrefixCache {
   size_t max_bytes() const EXCLUDES(mu_);
   /// Bytes held by cached states (approximate, column-buffer accounting).
   size_t bytes_in_use() const EXCLUDES(mu_);
+  /// High-water mark of bytes_in_use() since construction. Under the
+  /// sharded pipeline entries are per-shard states, so this bounds peak
+  /// resident cache bytes at shard granularity, not final-APT size.
+  size_t peak_bytes() const EXCLUDES(mu_);
 
   size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   size_t builds() const { return builds_.load(std::memory_order_relaxed); }
@@ -229,6 +245,7 @@ class AptPrefixCache {
   std::list<std::string> lru_ GUARDED_BY(mu_);
   size_t max_bytes_ GUARDED_BY(mu_);
   size_t bytes_ GUARDED_BY(mu_) = 0;
+  size_t peak_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> builds_{0};
   std::atomic<size_t> evictions_{0};
@@ -257,6 +274,94 @@ struct Apt {
   bool PtRowIsIdentity() const;
 };
 
+/// \brief One row-range shard of a sharded APT: the materialization of the
+/// PT positions [pt_begin, pt_end) of the full selection. pt_row entries
+/// are GLOBAL positions into ShardedApt::pt_rows_used (not shard-local), so
+/// per-shard coverage sets OR straight into one global CoverageBitmap.
+struct AptShard {
+  Table table;
+  std::vector<int32_t> pt_row;
+  size_t pt_begin = 0;
+  size_t pt_end = 0;
+};
+
+/// \brief A materialized APT as a sequence of row-range shards. The shard
+/// tables are never concatenated: concat(shards[i].table for all i) would
+/// be byte-identical to the unsharded Apt::table (same rows, same order,
+/// same dictionaries — every shard column adopts the dictionary of the same
+/// source column), and the miner exploits exactly that equivalence to mine
+/// per-shard masks and merge counts. There is always at least one shard
+/// (possibly empty) so schema_table() is well defined.
+struct ShardedApt {
+  std::vector<AptShard> shards;
+  /// As Apt::pt_rows_used: the PT rows materialized, original ids, ascending.
+  std::vector<int64_t> pt_rows_used;
+  size_t num_pt_columns = 0;
+  std::vector<int> pattern_cols;
+  /// Sum of shard row counts == the unsharded APT's row count.
+  size_t total_rows = 0;
+
+  size_t num_rows() const { return total_rows; }
+  /// Schema/dictionary carrier: every shard has the identical schema and
+  /// shares its dictionaries, so shard 0 answers all schema questions.
+  const Table& schema_table() const { return shards.front().table; }
+};
+
+/// \brief A borrowed view of one shard (or of a whole unsharded APT, which
+/// is just the single-slice case).
+struct AptSlice {
+  const Table* table = nullptr;
+  /// Slice row -> GLOBAL position in the owning set's pt_rows_used.
+  const std::vector<int32_t>* pt_row = nullptr;
+  size_t num_rows() const { return pt_row->size(); }
+};
+
+/// \brief The miner's uniform input: an APT as an ordered list of borrowed
+/// slices. MakeSliceSet adapts both Apt (one slice) and ShardedApt (one
+/// slice per shard), so every mining stage is written once against slices
+/// and is trivially bit-identical across the two representations.
+///
+/// Dictionary invariant: all slices' columns adopt their dictionaries from
+/// the same source columns, so dictionary codes are comparable across
+/// slices and consistent with schema_table() — the LCA generator and the
+/// pattern kernels rely on this.
+struct AptSliceSet {
+  std::vector<AptSlice> slices;
+  const std::vector<int64_t>* pt_rows_used = nullptr;
+  const std::vector<int>* pattern_cols = nullptr;
+  size_t num_pt_columns = 0;
+  size_t total_rows = 0;
+  /// True when the set is a single slice whose pt_row is the identity map
+  /// (Apt::PtRowIsIdentity): row masks double as coverage sets.
+  bool pt_identity = false;
+
+  const Table& schema_table() const { return *slices.front().table; }
+};
+
+/// Borrowing adapters; the source APT must outlive the returned set.
+AptSliceSet MakeSliceSet(const Apt& apt);
+AptSliceSet MakeSliceSet(const ShardedApt& apt);
+
+/// \brief Observability counters for APT materialization, shared across the
+/// per-graph (and per-shard) fan-out of one Explain call. Thread-safe.
+struct AptMaterializeMetrics {
+  /// High-water mark of the approximate bytes of any single resident join
+  /// state (ApproxStateBytes of the base state and of every step output,
+  /// built or cache-hit). Under sharding this is bounded by the largest
+  /// shard's fan-out rather than the full APT — the memory headline.
+  std::atomic<size_t> peak_state_bytes{0};
+  /// Total shards materialized (unsharded materializations count 1).
+  std::atomic<size_t> shards{0};
+
+  void RecordStateBytes(size_t bytes) {
+    size_t cur = peak_state_bytes.load(std::memory_order_relaxed);
+    while (bytes > cur &&
+           !peak_state_bytes.compare_exchange_weak(
+               cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
+};
+
 /// Caches and statistics threaded through MaterializeApt.
 struct AptMaterializeOptions {
   /// Build-side index cache; nullptr uses a per-call local cache.
@@ -277,6 +382,13 @@ struct AptMaterializeOptions {
   /// the row selection per graph. Must match the pt/pt_rows actually
   /// passed; a stale fingerprint aliases prefix-cache states.
   std::string pt_fingerprint;
+  /// Optional observability sink (peak resident state bytes, shard counts);
+  /// nullptr disables recording. Shared across threads — it is atomic.
+  AptMaterializeMetrics* metrics = nullptr;
+  /// Worker pool that MaterializeAptSharded fans shards across; nullptr (or
+  /// a single shard) runs them serially on the caller. Ignored by the
+  /// unsharded MaterializeApt.
+  WorkerPool* pool = nullptr;
 };
 
 /// Stable fingerprint of a (PT, selected rows) pair: the leading component
@@ -300,6 +412,29 @@ Result<Apt> MaterializeApt(const ProvenanceTable& pt,
                            const JoinGraph& graph, const SchemaGraph& schema_graph,
                            const Database& db,
                            const AptMaterializeOptions& options);
+
+/// Sharded materialization: splits `pt_rows` into contiguous row ranges of
+/// at most `shard_rows` rows (0 or >= |pt_rows| collapses to a single
+/// full-range shard) and materializes each range independently, fanning
+/// shards across `options.pool` when one is provided.
+///
+/// Equivalence contract (the differential tests' anchor):
+///  - concat(shards) is byte-identical to MaterializeApt's output — same
+///    rows in the same order, same dictionaries, same pattern_cols;
+///  - errors are identical too: the per-step row totals summed across
+///    shards hit `options.row_limit` exactly when the unsharded step output
+///    does, and the surfaced Status (message included) matches, regardless
+///    of shard size, thread count, or scheduling;
+///  - prefix-cache states for partial ranges are keyed with a `|shard:b-e`
+///    suffix so they never alias unsharded states; the full-range single
+///    shard shares the unsharded keys (its states are byte-identical).
+Result<ShardedApt> MaterializeAptSharded(const ProvenanceTable& pt,
+                                         const std::vector<int64_t>& pt_rows,
+                                         const JoinGraph& graph,
+                                         const SchemaGraph& schema_graph,
+                                         const Database& db,
+                                         const AptMaterializeOptions& options,
+                                         size_t shard_rows);
 
 /// Convenience overload matching the historical signature; `cache` and
 /// `row_limit` map onto AptMaterializeOptions (no prefix cache, no stats).

@@ -92,6 +92,16 @@ class CoverageBitmap {
     return n;
   }
 
+  /// this |= other; both bitmaps must be the same size. The cross-shard
+  /// coverage merge: per-shard coverage sets OR into one global set. The
+  /// size assert is load-bearing — merging bitmaps of mismatched widths
+  /// (e.g. a shard-row mask instead of a PT-position set) must fail loudly
+  /// in debug builds, not silently mis-popcount.
+  void Or(const CoverageBitmap& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
   const std::vector<uint64_t>& words() const { return words_; }
   /// Raw word access for kernel writers; tail bits must end up zero.
   uint64_t* MutableWords() { return words_.data(); }

@@ -4,6 +4,12 @@
 // predicate, the rest become don't-cares. Frequently co-occurring constant
 // combinations surface as high-count candidates.
 //
+// The pair meet is batch/mask-native: sampled rows are pre-extracted to
+// column-major dictionary codes with a per-row non-null bitmask, so the
+// inner pair loop intersects two words and visits only mutually non-null
+// attributes (one ctz per candidate column) instead of scanning all k
+// columns per pair.
+//
 // Ownership and thread-safety: stateless free functions; inputs are borrowed
 // read-only and results are fresh caller-owned values, so concurrent calls
 // are safe.
@@ -28,7 +34,14 @@ struct LcaCandidate {
 /// Generates distinct candidate patterns over `cat_cols` from a sample of
 /// `sample_size` APT rows (pairs of identical rows yield the full-equality
 /// meet; pairs agreeing nowhere are skipped). Candidates are returned in
-/// descending pair_count order.
+/// descending pair_count order. Sampling is over global row ids and
+/// dictionary codes are slice-independent, so results are bit-identical at
+/// any shard size.
+std::vector<LcaCandidate> GenerateLcaCandidates(const AptSliceSet& ss,
+                                                const std::vector<int>& cat_cols,
+                                                size_t sample_size, Rng* rng);
+
+/// Unsharded convenience overload (single borrowed slice).
 std::vector<LcaCandidate> GenerateLcaCandidates(const Apt& apt,
                                                 const std::vector<int>& cat_cols,
                                                 size_t sample_size, Rng* rng);

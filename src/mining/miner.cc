@@ -16,22 +16,62 @@ namespace cajade {
 
 namespace {
 
-/// Builds an ML feature matrix from (a row sample of) the APT.
-FeatureMatrix BuildFeatureMatrix(const Apt& apt, const std::vector<int>& cols,
+/// Routing of global APT row ids to (slice, slice-local row): the global id
+/// space is the concatenation of the slices in order, so samples drawn over
+/// ss.total_rows hit the same logical rows at any shard size.
+struct SliceRouter {
+  std::vector<size_t> offsets;  // offsets[si] = first global row of slice si
+
+  explicit SliceRouter(const AptSliceSet& ss) {
+    offsets.resize(ss.slices.size() + 1, 0);
+    for (size_t si = 0; si < ss.slices.size(); ++si) {
+      offsets[si + 1] = offsets[si] + ss.slices[si].num_rows();
+    }
+  }
+
+  size_t SliceOf(size_t global_row) const {
+    return static_cast<size_t>(std::upper_bound(offsets.begin(), offsets.end(),
+                                                global_row) -
+                               offsets.begin()) -
+           1;
+  }
+  size_t LocalOf(size_t global_row, size_t slice) const {
+    return global_row - offsets[slice];
+  }
+};
+
+/// Builds an ML feature matrix from (a row sample of) the APT. The sample
+/// is drawn over global row ids, so the matrix — and everything the forest
+/// learns from it — is independent of the slicing.
+FeatureMatrix BuildFeatureMatrix(const AptSliceSet& ss,
+                                 const std::vector<int>& cols,
                                  const PtClasses& classes, size_t row_cap,
                                  Rng* rng) {
   FeatureMatrix m;
-  std::vector<size_t> rows = rng->SampleIndices(apt.num_rows(), row_cap);
+  std::vector<size_t> rows = rng->SampleIndices(ss.total_rows, row_cap);
+  const SliceRouter router(ss);
+  std::vector<size_t> r_slice(rows.size()), r_local(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    r_slice[i] = router.SliceOf(rows[i]);
+    r_local[i] = router.LocalOf(rows[i], r_slice[i]);
+  }
   m.labels.reserve(rows.size());
-  for (size_t r : rows) m.labels.push_back(classes[apt.pt_row[r]]);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    m.labels.push_back(classes[(*ss.slices[r_slice[i]].pt_row)[r_local[i]]]);
+  }
   m.columns.reserve(cols.size());
   for (int c : cols) {
-    const Column& col = apt.table.column(c);
-    m.names.push_back(apt.table.schema().column(c).name);
-    m.is_categorical.push_back(col.type() == DataType::kString);
+    m.names.push_back(ss.schema_table().schema().column(c).name);
+    m.is_categorical.push_back(ss.schema_table().column(c).type() ==
+                               DataType::kString);
     std::vector<double> values;
     values.reserve(rows.size());
-    for (size_t r : rows) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      // Dictionary codes are comparable across slices (the AptSliceSet
+      // dictionary invariant), so categorical features agree with the
+      // unsharded matrix code for code.
+      const Column& col = ss.slices[r_slice[i]].table->column(c);
+      const size_t r = r_local[i];
       if (col.IsNull(r)) {
         values.push_back(std::nan(""));
       } else if (col.type() == DataType::kString) {
@@ -46,20 +86,23 @@ FeatureMatrix BuildFeatureMatrix(const Apt& apt, const std::vector<int>& cols,
 }
 
 /// Distinct fragment boundaries of a numeric column: lambda_#frag quantiles
-/// over the view's APT rows (Section 3.4).
-std::vector<double> FragmentBoundaries(const Apt& apt, const MetricsView& view,
-                                       int col, int num_fragments) {
+/// over the view's APT rows (Section 3.4). Values are collected slice by
+/// slice in order and sorted, so the quantiles match the unsharded scan.
+std::vector<double> FragmentBoundaries(const AptSliceSet& ss,
+                                       const MetricsView& view, int col,
+                                       int num_fragments) {
   std::vector<double> values;
-  const Column& column = apt.table.column(col);
-  if (view.all_rows) {
-    values.reserve(apt.num_rows());
-    for (size_t r = 0; r < apt.num_rows(); ++r) {
-      if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
-    }
-  } else {
-    values.reserve(view.apt_rows.size());
-    for (int32_t r : view.apt_rows) {
-      if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
+  values.reserve(view.sampled_rows);
+  for (size_t si = 0; si < ss.slices.size(); ++si) {
+    const Column& column = ss.slices[si].table->column(col);
+    if (view.all_rows) {
+      for (size_t r = 0; r < ss.slices[si].num_rows(); ++r) {
+        if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
+      }
+    } else {
+      for (int32_t r : view.slice_rows[si]) {
+        if (!column.IsNull(r)) values.push_back(column.GetNumeric(r));
+      }
     }
   }
   if (values.empty()) return {};
@@ -76,11 +119,11 @@ std::vector<double> FragmentBoundaries(const Apt& apt, const MetricsView& view,
 }
 
 /// Recursive-refinement driver state. The coverage bitmap and the per-depth
-/// mask buffers are owned here and reused across every pattern evaluated,
-/// so the refinement loop itself performs no per-pattern heap allocation
-/// for scoring or row filtering.
+/// per-slice mask buffers are owned here and reused across every pattern
+/// evaluated, so the refinement loop itself performs no per-pattern heap
+/// allocation for scoring or row filtering.
 struct RefineContext {
-  const Apt* apt;
+  const AptSliceSet* slices;
   const PtClasses* classes;
   const MetricsView* view;
   const CajadeConfig* config;
@@ -90,23 +133,30 @@ struct RefineContext {
   std::vector<MinedPattern>* pool;
   CoverageScorer scorer;                          // built once per Mine()
   CoverageBitmap covered;                         // reusable scratch
-  std::vector<CoverageBitmap> mask_arena;         // child masks, one per depth
-  size_t num_rows = 0;                            // APT rows (mask width)
-  bool pt_identity = false;                       // Apt::PtRowIsIdentity()
+  /// Child match masks / popcounts: [depth][slice]. Pre-sized in
+  /// MineSlices to the maximum recursion depth so references stay stable
+  /// across recursive calls.
+  std::vector<std::vector<CoverageBitmap>> mask_arena;
+  std::vector<std::vector<size_t>> count_arena;
+  bool pt_identity = false;  // single identity slice: mask == coverage
   size_t evaluated = 0;
   size_t row_work = 0;
   bool budget_exhausted = false;
 };
 
-/// Scores `pattern` from its match mask (bit r = APT row r matches; the
-/// popcount is `matched_count`), appends qualifying pool entries, and
-/// recursively refines with numeric predicates on attributes after
-/// `next_attr` (the ordering removes duplicate generation). `depth` indexes
-/// the arena mask children of this call filter into; the caller's
-/// `matched_mask` lives at depth-1 (or in the seed) and stays untouched.
+/// Scores `pattern` from its per-slice match masks (bit r of masks[si] =
+/// slice si row r matches; `total_count` sums the per-slice popcounts in
+/// `matched_counts`), appends qualifying pool entries, and recursively
+/// refines with numeric predicates on attributes after `next_attr` (the
+/// ordering removes duplicate generation). `depth` indexes the arena masks
+/// children of this call filter into; the caller's `matched_masks` live at
+/// depth-1 (or in the seed) and stay untouched. Coverage merging is the
+/// shard-native core: per-slice masks project (global pt_row values) into
+/// ONE PT-wide coverage bitmap, so scores are independent of the slicing.
 void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
-                   const CoverageBitmap& matched_mask, size_t matched_count,
-                   size_t next_attr, size_t depth) {
+                   const std::vector<CoverageBitmap>& matched_masks,
+                   const std::vector<size_t>& matched_counts,
+                   size_t total_count, size_t next_attr, size_t depth) {
   if (ctx.evaluated >= ctx.config->refinement_budget ||
       ctx.row_work >= ctx.config->refinement_row_budget) {
     ctx.budget_exhausted = true;
@@ -114,16 +164,21 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
   }
   ++ctx.evaluated;
 
-  // Coverage from the match mask (reused buffer, popcount scoring). With an
-  // identity pt_row the match mask IS the coverage set and scores directly.
+  const std::vector<AptSlice>& slices = ctx.slices->slices;
+
+  // Coverage from the match masks (reused buffer, popcount scoring). With a
+  // single identity slice the match mask IS the coverage set and scores
+  // directly.
   double recall[2];
   {
     ScopedStep step(ctx.profiler, "F-score Calc.");
-    const CoverageBitmap* cov = &matched_mask;
+    const CoverageBitmap* cov = &matched_masks[0];
     if (!ctx.pt_identity) {
       ctx.covered.Reset(ctx.scorer.num_positions());
-      CoverageScorer::CoverageFromMask(matched_mask, ctx.apt->pt_row,
-                                       &ctx.covered);
+      for (size_t si = 0; si < slices.size(); ++si) {
+        CoverageScorer::CoverageFromMask(matched_masks[si],
+                                         *slices[si].pt_row, &ctx.covered);
+      }
       cov = &ctx.covered;
     }
     for (int primary = 0; primary < 2; ++primary) {
@@ -144,15 +199,16 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
       std::max(recall[0], recall[1]) <= ctx.config->recall_threshold) {
     return;
   }
-  if (pattern.NumNumericPreds(ctx.apt->table) >= ctx.config->max_numeric_attrs) {
+  if (pattern.NumNumericPreds(ctx.slices->schema_table()) >=
+      ctx.config->max_numeric_attrs) {
     return;
   }
 
-  // The arena is pre-sized in Mine() to the maximum recursion depth, so this
-  // reference (and the `matched_mask` references held by callers above)
-  // stays valid across the recursive calls below.
-  CoverageBitmap& child_mask = ctx.mask_arena[depth];
-  child_mask.ResetForOverwrite(ctx.num_rows);
+  // The arena is pre-sized in MineSlices() to the maximum recursion depth,
+  // so these references (and the `matched_masks` references held by callers
+  // above) stay valid across the recursive calls below.
+  std::vector<CoverageBitmap>& child_masks = ctx.mask_arena[depth];
+  std::vector<size_t>& child_counts = ctx.count_arena[depth];
 
   ScopedStep step(ctx.profiler, "Refine Patterns");
   for (size_t a = next_attr; a < ctx.numeric_attrs.size(); ++a) {
@@ -167,19 +223,31 @@ void ExpandPattern(RefineContext& ctx, const Pattern& pattern,
         if (op == PredOp::kLe && b + 1 == bounds.size()) continue;
         if (op == PredOp::kGe && b == 0) continue;
         double c = bounds[b];
-        Value constant = ctx.apt->table.column(col).type() == DataType::kInt64
-                             ? Value(static_cast<int64_t>(c))
-                             : Value(c);
-        PatternPredicate pred =
-            PatternPredicate::Make(ctx.apt->table, col, op, constant);
-        ctx.row_work += matched_count;
-        size_t child_count = static_cast<size_t>(
-            CompiledPredicate::Compile(pred, ctx.apt->table)
-                .FilterMask(ctx.num_rows, matched_mask.words().data(),
-                            matched_count, child_mask.MutableWords()));
-        if (child_count == 0) continue;
+        Value constant =
+            ctx.slices->schema_table().column(col).type() == DataType::kInt64
+                ? Value(static_cast<int64_t>(c))
+                : Value(c);
+        PatternPredicate pred = PatternPredicate::Make(
+            ctx.slices->schema_table(), col, op, constant);
+        // Charged once per candidate (the same rows the unsharded filter
+        // scans, summed over slices) so the row budget trips at the same
+        // evaluation count at any shard size.
+        ctx.row_work += total_count;
+        size_t child_total = 0;
+        for (size_t si = 0; si < slices.size(); ++si) {
+          child_masks[si].ResetForOverwrite(slices[si].num_rows());
+          child_counts[si] = static_cast<size_t>(
+              CompiledPredicate::Compile(pred, *slices[si].table)
+                  .FilterMask(slices[si].num_rows(),
+                              matched_masks[si].words().data(),
+                              matched_counts[si],
+                              child_masks[si].MutableWords()));
+          child_total += child_counts[si];
+        }
+        if (child_total == 0) continue;
         Pattern child = pattern.Refine(std::move(pred));
-        ExpandPattern(ctx, child, child_mask, child_count, a + 1, depth + 1);
+        ExpandPattern(ctx, child, child_masks, child_counts, child_total,
+                      a + 1, depth + 1);
         if (ctx.budget_exhausted) return;
       }
     }
@@ -254,17 +322,17 @@ std::vector<size_t> SelectTopKDiverse(const std::vector<MinedPattern>& pool,
   return selected;
 }
 
-std::vector<int> PatternMiner::SelectAttributes(const Apt& apt,
+std::vector<int> PatternMiner::SelectAttributes(const AptSliceSet& ss,
                                                 const PtClasses& classes,
                                                 Rng* rng) const {
-  const std::vector<int>& eligible = apt.pattern_cols;
+  const std::vector<int>& eligible = *ss.pattern_cols;
   if (!config_->enable_feature_selection || eligible.size() <= 2) {
     return eligible;
   }
   ScopedStep step(profiler_, "Feature Selection");
 
   FeatureMatrix matrix = BuildFeatureMatrix(
-      apt, eligible, classes, std::max(config_->forest_row_cap * 2, size_t{256}),
+      ss, eligible, classes, std::max(config_->forest_row_cap * 2, size_t{256}),
       rng);
   // Degenerate labels: nothing to learn, keep everything.
   bool has0 = false, has1 = false;
@@ -326,19 +394,33 @@ std::vector<int> PatternMiner::SelectAttributes(const Apt& apt,
 
 Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
                                       Rng* rng) const {
+  return MineSlices(MakeSliceSet(apt), classes, rng);
+}
+
+Result<MineResult> PatternMiner::Mine(const ShardedApt& apt,
+                                      const PtClasses& classes,
+                                      Rng* rng) const {
+  return MineSlices(MakeSliceSet(apt), classes, rng);
+}
+
+Result<MineResult> PatternMiner::MineSlices(const AptSliceSet& ss,
+                                            const PtClasses& classes,
+                                            Rng* rng) const {
   MineResult result;
-  result.apt_rows = apt.num_rows();
-  result.num_attributes = apt.pattern_cols.size();
-  if (apt.pt_rows_used.empty()) {
+  result.apt_rows = ss.total_rows;
+  result.num_attributes = ss.pattern_cols->size();
+  if (ss.pt_rows_used->empty()) {
     return Status::InvalidArgument("APT covers no provenance rows");
   }
+  const std::vector<AptSlice>& slices = ss.slices;
+  const size_t num_slices = slices.size();
 
   // (i) Attribute filtering + clustering.
-  std::vector<int> attrs = SelectAttributes(apt, classes, rng);
+  std::vector<int> attrs = SelectAttributes(ss, classes, rng);
   result.selected_attributes = attrs.size();
   std::vector<int> cat_attrs, num_attrs;
   for (int c : attrs) {
-    if (apt.table.column(c).type() == DataType::kString) {
+    if (ss.schema_table().column(c).type() == DataType::kString) {
       cat_attrs.push_back(c);
     } else {
       num_attrs.push_back(c);
@@ -350,8 +432,8 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   {
     ScopedStep step(profiler_, "Sampling for F1");
     view = config_->f1_sample_rate >= 1.0
-               ? FullView(apt, classes)
-               : SampledView(apt, classes, config_->f1_sample_rate, rng);
+               ? FullView(ss, classes)
+               : SampledView(ss, classes, config_->f1_sample_rate, rng);
   }
 
   // (ii) LCA candidates over categorical attributes.
@@ -359,22 +441,24 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   {
     ScopedStep step(profiler_, "Gen. Pat. Cand.");
     size_t sample = static_cast<size_t>(config_->pat_sample_rate *
-                                        static_cast<double>(apt.num_rows()));
+                                        static_cast<double>(ss.total_rows));
     sample = std::min(std::max<size_t>(sample, 16), config_->pat_sample_cap);
-    candidates = GenerateLcaCandidates(apt, cat_attrs, sample, rng);
+    candidates = GenerateLcaCandidates(ss, cat_attrs, sample, rng);
   }
   result.lca_candidates = candidates.size();
 
   // (iii) Recall-filter candidates; keep top k_cat by recall as seeds.
-  // Matching is mask-native: the kernel's full-APT (or view-restricted)
-  // match mask feeds coverage scoring directly, no row-id materialization.
+  // Matching is mask-native and per slice: each slice's kernel match mask
+  // projects into one PT-wide coverage bitmap, so scores merge across
+  // shards by bit-OR of coverage, never by concatenating rows.
   struct Seed {
     Pattern pattern;
-    CoverageBitmap mask;
-    size_t count = 0;
+    std::vector<CoverageBitmap> masks;  // per slice
+    std::vector<size_t> counts;         // per-slice popcounts
+    size_t total = 0;
     double recall;
   };
-  const bool pt_identity = apt.PtRowIsIdentity();
+  const bool pt_identity = ss.pt_identity;
   std::vector<Seed> seeds;
   CoverageScorer scorer(classes, view);
   {
@@ -384,9 +468,9 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     const size_t kMaxScored = 500;
     size_t scored = 0;
     PatternKernel kernel;
-    CoverageBitmap mask;
+    std::vector<CoverageBitmap> masks(num_slices);
     CoverageBitmap covered;
-    // Two passes so only the <= k_cat winners ever hold a mask copy: first
+    // Two passes so only the <= k_cat winners ever hold mask copies: first
     // score every candidate in the reused buffers, then re-match just the
     // kept seeds (the sort sees the same recall sequence the one-pass
     // variant would, so ties resolve identically).
@@ -398,16 +482,22 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
     for (const auto& cand : candidates) {
       if (scored >= kMaxScored) break;
       ++scored;
-      kernel.Compile(cand.pattern, apt.table);
-      if (view.all_rows) {
-        kernel.MatchMask(apt.num_rows(), &mask);
-      } else {
-        kernel.MatchMask(view.apt_rows_mask, view.apt_rows.size(), &mask);
+      for (size_t si = 0; si < num_slices; ++si) {
+        kernel.Compile(cand.pattern, *slices[si].table);
+        if (view.all_rows) {
+          kernel.MatchMask(slices[si].num_rows(), &masks[si]);
+        } else {
+          kernel.MatchMask(view.slice_masks[si], view.slice_rows[si].size(),
+                           &masks[si]);
+        }
       }
-      const CoverageBitmap* cov = &mask;
+      const CoverageBitmap* cov = &masks[0];
       if (!pt_identity) {
         covered.Reset(scorer.num_positions());
-        CoverageScorer::CoverageFromMask(mask, apt.pt_row, &covered);
+        for (size_t si = 0; si < num_slices; ++si) {
+          CoverageScorer::CoverageFromMask(masks[si], *slices[si].pt_row,
+                                           &covered);
+        }
         cov = &covered;
       }
       double best_recall = 0;
@@ -431,11 +521,18 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
       Seed seed;
       seed.pattern = *sc.pattern;
       seed.recall = sc.recall;
-      kernel.Compile(seed.pattern, apt.table);
-      seed.count = view.all_rows
-                       ? kernel.MatchMask(apt.num_rows(), &seed.mask)
-                       : kernel.MatchMask(view.apt_rows_mask,
-                                          view.apt_rows.size(), &seed.mask);
+      seed.masks.resize(num_slices);
+      seed.counts.resize(num_slices);
+      for (size_t si = 0; si < num_slices; ++si) {
+        kernel.Compile(seed.pattern, *slices[si].table);
+        seed.counts[si] =
+            view.all_rows
+                ? kernel.MatchMask(slices[si].num_rows(), &seed.masks[si])
+                : kernel.MatchMask(view.slice_masks[si],
+                                   view.slice_rows[si].size(),
+                                   &seed.masks[si]);
+        seed.total += seed.counts[si];
+      }
       seeds.push_back(std::move(seed));
     }
   }
@@ -443,13 +540,18 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   {
     Seed empty;
     empty.recall = 1.0;
-    if (view.all_rows) {
-      empty.mask.Reset(apt.num_rows());
-      empty.mask.SetAll();
-      empty.count = apt.num_rows();
-    } else {
-      empty.mask = view.apt_rows_mask;
-      empty.count = view.apt_rows.size();
+    empty.masks.resize(num_slices);
+    empty.counts.resize(num_slices);
+    for (size_t si = 0; si < num_slices; ++si) {
+      if (view.all_rows) {
+        empty.masks[si].Reset(slices[si].num_rows());
+        empty.masks[si].SetAll();
+        empty.counts[si] = slices[si].num_rows();
+      } else {
+        empty.masks[si] = view.slice_masks[si];
+        empty.counts[si] = view.slice_rows[si].size();
+      }
+      empty.total += empty.counts[si];
     }
     seeds.push_back(std::move(empty));
   }
@@ -457,7 +559,7 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   // (iv) Numeric refinement.
   std::vector<MinedPattern> pool;
   RefineContext ctx;
-  ctx.apt = &apt;
+  ctx.slices = &ss;
   ctx.classes = &classes;
   ctx.view = &view;
   ctx.config = config_;
@@ -465,21 +567,27 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
   ctx.numeric_attrs = num_attrs;
   ctx.pool = &pool;
   ctx.scorer = std::move(scorer);
-  ctx.num_rows = apt.num_rows();
   ctx.pt_identity = pt_identity;
-  // One mask buffer per recursion level; each level adds one numeric
-  // predicate, so numeric_attrs.size() + 1 covers the deepest chain. Sizing
-  // up front keeps buffer references stable across recursive calls.
+  // One mask/count buffer set per recursion level; each level adds one
+  // numeric predicate, so numeric_attrs.size() + 1 covers the deepest
+  // chain. Sizing up front keeps buffer references stable across recursive
+  // calls.
   ctx.mask_arena.resize(num_attrs.size() + 1);
+  ctx.count_arena.resize(num_attrs.size() + 1);
+  for (size_t d = 0; d <= num_attrs.size(); ++d) {
+    ctx.mask_arena[d].resize(num_slices);
+    ctx.count_arena[d].resize(num_slices);
+  }
   {
     ScopedStep step(profiler_, "Refine Patterns");
     for (size_t a = 0; a < num_attrs.size(); ++a) {
       ctx.boundaries.push_back(
-          FragmentBoundaries(apt, view, num_attrs[a], config_->num_fragments));
+          FragmentBoundaries(ss, view, num_attrs[a], config_->num_fragments));
     }
   }
   for (const auto& seed : seeds) {
-    ExpandPattern(ctx, seed.pattern, seed.mask, seed.count, 0, 0);
+    ExpandPattern(ctx, seed.pattern, seed.masks, seed.counts, seed.total, 0,
+                  0);
     if (ctx.budget_exhausted) break;
   }
   result.patterns_evaluated = ctx.evaluated;
@@ -490,19 +598,38 @@ Result<MineResult> PatternMiner::Mine(const Apt& apt, const PtClasses& classes,
       pool, static_cast<size_t>(config_->top_k), config_->enable_diversity);
 
   // Exact relative supports (Definition 6) on the full APT for the winners.
-  MetricsView full = FullView(apt, classes);
+  // Multi-slice merging goes through CoverageBitmap::Or so the cross-shard
+  // merge path (and its width assert) is exercised even on this cold path.
+  MetricsView full = FullView(ss, classes);
   CoverageScorer full_scorer(classes, full);
   PatternKernel kernel;
   CoverageBitmap match_mask;
   CoverageBitmap covered;
+  CoverageBitmap slice_covered;
   for (size_t idx : picked) {
     MinedPattern mp = pool[idx];
-    kernel.Compile(mp.pattern, apt.table);
-    kernel.MatchMask(apt.num_rows(), &match_mask);
-    const CoverageBitmap* cov = &match_mask;
-    if (!pt_identity) {
+    const CoverageBitmap* cov = nullptr;
+    if (pt_identity) {
+      kernel.Compile(mp.pattern, *slices[0].table);
+      kernel.MatchMask(slices[0].num_rows(), &match_mask);
+      cov = &match_mask;
+    } else if (num_slices == 1) {
+      kernel.Compile(mp.pattern, *slices[0].table);
+      kernel.MatchMask(slices[0].num_rows(), &match_mask);
       covered.Reset(full_scorer.num_positions());
-      CoverageScorer::CoverageFromMask(match_mask, apt.pt_row, &covered);
+      CoverageScorer::CoverageFromMask(match_mask, *slices[0].pt_row,
+                                       &covered);
+      cov = &covered;
+    } else {
+      covered.Reset(full_scorer.num_positions());
+      for (size_t si = 0; si < num_slices; ++si) {
+        kernel.Compile(mp.pattern, *slices[si].table);
+        kernel.MatchMask(slices[si].num_rows(), &match_mask);
+        slice_covered.Reset(full_scorer.num_positions());
+        CoverageScorer::CoverageFromMask(match_mask, *slices[si].pt_row,
+                                         &slice_covered);
+        covered.Or(slice_covered);
+      }
       cov = &covered;
     }
     PatternScores sp = full_scorer.Score(*cov, mp.primary);

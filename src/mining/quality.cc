@@ -2,6 +2,21 @@
 
 namespace cajade {
 
+MetricsView FullView(const AptSliceSet& ss, const PtClasses& classes) {
+  MetricsView view;
+  view.all_rows = true;
+  view.pt_sampled.assign(ss.pt_rows_used->size(), 1);
+  for (size_t p = 0; p < classes.size(); ++p) {
+    if (classes[p] == 0) {
+      ++view.n1;
+    } else {
+      ++view.n2;
+    }
+  }
+  view.sampled_rows = ss.total_rows;
+  return view;
+}
+
 MetricsView FullView(const Apt& apt, const PtClasses& classes) {
   MetricsView view;
   view.all_rows = true;
@@ -13,15 +28,19 @@ MetricsView FullView(const Apt& apt, const PtClasses& classes) {
       ++view.n2;
     }
   }
+  view.sampled_rows = apt.num_rows();
   return view;
 }
 
-MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
-                        Rng* rng) {
-  if (rate >= 1.0) return FullView(apt, classes);
+MetricsView SampledView(const AptSliceSet& ss, const PtClasses& classes,
+                        double rate, Rng* rng) {
+  if (rate >= 1.0) return FullView(ss, classes);
   MetricsView view;
   view.all_rows = false;
-  size_t m = apt.pt_rows_used.size();
+  size_t m = ss.pt_rows_used->size();
+  // PT positions are drawn first, in position order: the RNG consumption is
+  // independent of the slicing, which is what keeps sampled scores
+  // bit-identical at any shard size.
   view.pt_sampled.assign(m, 0);
   for (size_t p = 0; p < m; ++p) {
     if (rng->Bernoulli(rate)) view.pt_sampled[p] = 1;
@@ -48,15 +67,27 @@ MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
       ++view.n2;
     }
   }
-  view.apt_rows.reserve(apt.num_rows() / 2);
-  view.apt_rows_mask.Reset(apt.num_rows());
-  for (size_t r = 0; r < apt.num_rows(); ++r) {
-    if (view.pt_sampled[apt.pt_row[r]]) {
-      view.apt_rows.push_back(static_cast<int32_t>(r));
-      view.apt_rows_mask.Set(r);
+  view.slice_rows.resize(ss.slices.size());
+  view.slice_masks.resize(ss.slices.size());
+  for (size_t si = 0; si < ss.slices.size(); ++si) {
+    const AptSlice& slice = ss.slices[si];
+    view.slice_rows[si].reserve(slice.num_rows() / 2);
+    view.slice_masks[si].Reset(slice.num_rows());
+    for (size_t r = 0; r < slice.num_rows(); ++r) {
+      if (view.pt_sampled[(*slice.pt_row)[r]]) {
+        view.slice_rows[si].push_back(static_cast<int32_t>(r));
+        view.slice_masks[si].Set(r);
+      }
     }
+    view.sampled_rows += view.slice_rows[si].size();
   }
   return view;
+}
+
+MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
+                        Rng* rng) {
+  AptSliceSet ss = MakeSliceSet(apt);
+  return SampledView(ss, classes, rate, rng);
 }
 
 void ComputeCoverage(const Pattern& pattern, const Apt& apt,
@@ -70,7 +101,7 @@ void ComputeCoverage(const Pattern& pattern, const Apt& apt,
     }
     return;
   }
-  for (int32_t r : view.apt_rows) {
+  for (int32_t r : view.slice_rows.front()) {
     int32_t p = apt.pt_row[r];
     if ((*covered)[p]) continue;
     if (pattern.Matches(apt.table, static_cast<size_t>(r))) (*covered)[p] = 1;

@@ -24,33 +24,45 @@ namespace cajade {
 using PtClasses = std::vector<int8_t>;
 
 /// \brief A (possibly sampled) view of the APT over which metrics are
-/// computed.
+/// computed. Shard-native: row selections are held per slice (slice-local
+/// row ids), so the miner restricts each shard's kernel to its own mask and
+/// merges only coverage popcounts. A single-slice view over an unsharded
+/// APT is exactly the old whole-table view.
 struct MetricsView {
-  /// APT rows to scan (ascending). Empty means "all rows".
-  std::vector<int32_t> apt_rows;
-  /// The same row set as a bitmask over [0, apt.num_rows()), the base mask
-  /// of the kernels' view-restricted MatchMask path. Empty when `all_rows`
-  /// (the full mask is implicit).
-  CoverageBitmap apt_rows_mask;
+  /// Per slice: sampled rows to scan (slice-local ids, ascending). Empty
+  /// when `all_rows` (every row of every slice is in view).
+  std::vector<std::vector<int32_t>> slice_rows;
+  /// The same row sets as bitmasks over [0, slice.num_rows()), the base
+  /// masks of the kernels' view-restricted MatchMask path. Empty when
+  /// `all_rows` (full masks are implicit).
+  std::vector<CoverageBitmap> slice_masks;
   bool all_rows = true;
   /// Per PT position: whether it is in the sample.
   std::vector<uint8_t> pt_sampled;
   /// Sampled class sizes |PT(t1)|, |PT(t2)| (full sizes when not sampling).
   size_t n1 = 0;
   size_t n2 = 0;
+  /// Total in-view rows across slices (== total APT rows when `all_rows`).
+  size_t sampled_rows = 0;
 };
 
 /// Builds the exact (no sampling) view.
+MetricsView FullView(const AptSliceSet& ss, const PtClasses& classes);
 MetricsView FullView(const Apt& apt, const PtClasses& classes);
 
 /// Builds a sampled view: PT positions are sampled at `rate` (at least one
 /// from each class kept when available), and APT rows restricted to sampled
-/// positions (the paper's "Sampling for F1" step).
+/// positions (the paper's "Sampling for F1" step). The Bernoulli draws are
+/// per PT position — independent of how the APT is sliced — so the sampled
+/// view (and everything scored on it) is bit-identical at any shard size.
+MetricsView SampledView(const AptSliceSet& ss, const PtClasses& classes,
+                        double rate, Rng* rng);
 MetricsView SampledView(const Apt& apt, const PtClasses& classes, double rate,
                         Rng* rng);
 
 /// Coverage bitmap (Definition 7a): out[p] = 1 iff some APT row of PT
-/// position p (within the view) matches the pattern.
+/// position p (within the view) matches the pattern. Scalar oracle over an
+/// unsharded APT; `view` must have been built from it (single slice).
 void ComputeCoverage(const Pattern& pattern, const Apt& apt,
                      const MetricsView& view, std::vector<uint8_t>* covered);
 

@@ -165,16 +165,34 @@ Result<std::shared_ptr<const ExplainResult>> ExplainServer::Explain(
   // hit latency is one provenance computation, never a stale answer.
   ASSIGN_OR_RETURN(PreparedExplain prepared, lease->Prepare(sql, question));
 
+  // Materialization metrics are folded into the server counters on every
+  // *computed* request (cache hits materialize nothing): shard counts add
+  // up, the byte high-water CAS-maxes.
+  auto record_apt_metrics = [this](const ExplainResult& result) {
+    apt_shards_.fetch_add(result.apt_shards, std::memory_order_relaxed);
+    size_t cur = peak_apt_bytes_.load(std::memory_order_relaxed);
+    while (result.peak_apt_bytes > cur &&
+           !peak_apt_bytes_.compare_exchange_weak(cur, result.peak_apt_bytes,
+                                                  std::memory_order_relaxed)) {
+    }
+  };
+
   if (!options_.enable_result_cache) {
     ASSIGN_OR_RETURN(ExplainResult result,
                      lease->ExplainPrepared(std::move(prepared)));
+    record_apt_metrics(result);
     return std::make_shared<const ExplainResult>(std::move(result));
   }
 
   std::string fingerprint = prepared.pt_fingerprint;
   return result_cache_.GetOrCompute(
       CacheKey(sql, question), fingerprint,
-      [&]() { return lease->ExplainPrepared(std::move(prepared)); });
+      [&]() -> Result<ExplainResult> {
+        ASSIGN_OR_RETURN(ExplainResult result,
+                         lease->ExplainPrepared(std::move(prepared)));
+        record_apt_metrics(result);
+        return result;
+      });
 }
 
 ExplainServer::Counters ExplainServer::counters() const {
@@ -189,6 +207,10 @@ ExplainServer::Counters ExplainServer::counters() const {
   c.index_evictions = index_cache_.evictions();
   c.prefix_hits = prefix_cache_.hits();
   c.prefix_builds = prefix_cache_.builds();
+  c.peak_apt_bytes = peak_apt_bytes_.load(std::memory_order_relaxed);
+  c.apt_shards = apt_shards_.load(std::memory_order_relaxed);
+  c.index_peak_bytes = index_cache_.peak_bytes();
+  c.prefix_peak_bytes = prefix_cache_.peak_bytes();
   return c;
 }
 

@@ -95,6 +95,16 @@ class ExplainServer {
     size_t index_evictions = 0;
     size_t prefix_hits = 0;
     size_t prefix_builds = 0;
+    /// High-water mark of any single resident APT join state's bytes across
+    /// all computed (non-cache-hit) requests; with apt_shard_rows > 0 this
+    /// is what the shard bound caps (see docs/SERVING.md, memory bounds).
+    size_t peak_apt_bytes = 0;
+    /// Total APT shards materialized across computed requests.
+    size_t apt_shards = 0;
+    /// High-water marks of the shared caches' resident bytes (the LRU
+    /// bounds cap these; shard-sized states keep them low).
+    size_t index_peak_bytes = 0;
+    size_t prefix_peak_bytes = 0;
   };
 
   ExplainServer(const Database* db, const SchemaGraph* schema_graph,
@@ -190,6 +200,9 @@ class ExplainServer {
   std::deque<LeaseWaiter*> waiters_ GUARDED_BY(lease_mu_);
 
   std::atomic<size_t> requests_{0};
+  /// CAS-max of ExplainResult::peak_apt_bytes over computed requests.
+  std::atomic<size_t> peak_apt_bytes_{0};
+  std::atomic<size_t> apt_shards_{0};
 };
 
 }  // namespace cajade

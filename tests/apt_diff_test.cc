@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/core/explainer.h"
 #include "src/graph/join_graph.h"
 #include "src/mining/apt.h"
@@ -602,6 +603,205 @@ TEST(AptPrefixSharingTest, MemoryBoundIsRespectedUnderMaterialization) {
   EXPECT_EQ(prefix_cache.hits(), 0u);  // nothing survives to be hit
 }
 
+// ---- Sharded materialization differential ----------------------------------
+
+/// concat(shards) must be byte-identical to the unsharded APT: same rows in
+/// the same order, same metadata, and GLOBAL pt_row positions.
+void ExpectShardedEqualsApt(const Apt& ref, const ShardedApt& got) {
+  EXPECT_EQ(got.pt_rows_used, ref.pt_rows_used);
+  EXPECT_EQ(got.num_pt_columns, ref.num_pt_columns);
+  EXPECT_EQ(got.pattern_cols, ref.pattern_cols);
+  ASSERT_EQ(got.num_rows(), ref.num_rows());
+  size_t global = 0;
+  size_t prev_end = 0;
+  for (size_t si = 0; si < got.shards.size(); ++si) {
+    SCOPED_TRACE("shard " + std::to_string(si));
+    const AptShard& shard = got.shards[si];
+    // Shards tile [0, |pt_rows_used|) in order without gaps or overlaps.
+    EXPECT_EQ(shard.pt_begin, prev_end);
+    EXPECT_LE(shard.pt_end, ref.pt_rows_used.size());
+    prev_end = shard.pt_end;
+    ASSERT_EQ(shard.table.num_rows(), shard.pt_row.size());
+    ASSERT_EQ(shard.table.num_columns(), ref.table.num_columns());
+    for (size_t c = 0; c < ref.table.num_columns(); ++c) {
+      EXPECT_EQ(shard.table.schema().column(c).name,
+                ref.table.schema().column(c).name);
+      EXPECT_EQ(shard.table.schema().column(c).mining_excluded,
+                ref.table.schema().column(c).mining_excluded);
+    }
+    for (size_t r = 0; r < shard.table.num_rows(); ++r, ++global) {
+      ASSERT_LT(global, ref.num_rows());
+      EXPECT_EQ(shard.pt_row[r], ref.pt_row[global]);
+      for (size_t c = 0; c < ref.table.num_columns(); ++c) {
+        const Value a = ref.table.GetValue(global, c);
+        const Value b = shard.table.GetValue(r, c);
+        ASSERT_TRUE(a == b)
+            << "shard " << si << " row " << r << " col " << c << ": "
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(prev_end, ref.pt_rows_used.size());
+  EXPECT_EQ(global, ref.num_rows());
+}
+
+/// Shard sizes that pin the boundary math: 1, the word boundary 63/64/65, a
+/// random non-divisor of |pt_rows|, and one past the whole range
+/// (collapsing to a single shard).
+std::vector<size_t> ShardSizeSweep(size_t n, Rng* rng) {
+  std::vector<size_t> sizes = {1, 63, 64, 65};
+  size_t nd = 2 + rng->NextBounded(n > 4 ? n - 3 : 2);
+  while (n % nd == 0) ++nd;  // force a ragged final shard
+  sizes.push_back(nd);
+  sizes.push_back(n + 1 + rng->NextBounded(16));
+  return sizes;
+}
+
+TEST(AptShardDiffTest, ShardSweepMatchesUnshardedAtAnyThreadCount) {
+  DiffFixture fx = MakeFixture({});
+  Rng rng(99);
+  std::vector<size_t> sizes = ShardSizeSweep(fx.pt_rows.size(), &rng);
+  for (int threads : {1, 4, 8}) {
+    std::unique_ptr<WorkerPool> pool;
+    if (threads > 1) pool = std::make_unique<WorkerPool>(threads);
+    for (bool with_prefix : {false, true}) {
+      AptIndexCache index_cache;
+      AptPrefixCache prefix_cache;
+      StatsCatalog stats;
+      for (const auto& [label, graph] : MakeGraphFamily(fx)) {
+        Result<Apt> ref = MaterializeApt(fx.pt, fx.pt_rows, graph, fx.sg,
+                                         fx.db, AptMaterializeOptions{});
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        for (size_t shard_rows : sizes) {
+          SCOPED_TRACE(label + " shard_rows=" + std::to_string(shard_rows) +
+                       " threads=" + std::to_string(threads) +
+                       (with_prefix ? " prefix=on" : " prefix=off"));
+          AptMaterializeOptions options;
+          options.index_cache = &index_cache;
+          options.stats = &stats;
+          if (with_prefix) options.prefix_cache = &prefix_cache;
+          options.pool = pool.get();
+          AptMaterializeMetrics metrics;
+          options.metrics = &metrics;
+          Result<ShardedApt> got = MaterializeAptSharded(
+              fx.pt, fx.pt_rows, graph, fx.sg, fx.db, options, shard_rows);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ExpectShardedEqualsApt(*ref, *got);
+          size_t expect_shards =
+              shard_rows >= fx.pt_rows.size()
+                  ? 1
+                  : (fx.pt_rows.size() + shard_rows - 1) / shard_rows;
+          EXPECT_EQ(got->shards.size(), expect_shards);
+          EXPECT_EQ(metrics.shards.load(), expect_shards);
+          EXPECT_GT(metrics.peak_state_bytes.load(), 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(AptShardDiffTest, RandomizedShardBoundariesMatchReference) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FixtureParams p;
+    p.seed = seed;
+    Rng rng(seed * 131);
+    p.fact_rows = 60 + rng.NextBounded(120);
+    p.dim_rows = 20 + rng.NextBounded(80);
+    p.null_rate = 0.1 + 0.5 * rng.UniformDouble();
+    DiffFixture fx = MakeFixture(p);
+    WorkerPool pool(4);
+    AptIndexCache index_cache;
+    AptPrefixCache prefix_cache;
+    StatsCatalog stats;
+    AptMaterializeOptions options;
+    options.index_cache = &index_cache;
+    options.prefix_cache = &prefix_cache;
+    options.stats = &stats;
+    options.pool = &pool;
+    for (const auto& [label, graph] : MakeGraphFamily(fx)) {
+      Result<Apt> ref = ReferenceMaterializeApt(fx.pt, fx.pt_rows, graph,
+                                                fx.sg, fx.db);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      for (int rep = 0; rep < 3; ++rep) {
+        size_t shard_rows = 1 + rng.NextBounded(fx.pt_rows.size() + 8);
+        SCOPED_TRACE(label + " shard_rows=" + std::to_string(shard_rows));
+        Result<ShardedApt> got = MaterializeAptSharded(
+            fx.pt, fx.pt_rows, graph, fx.sg, fx.db, options, shard_rows);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectShardedEqualsApt(*ref, *got);
+      }
+    }
+  }
+}
+
+TEST(AptShardDiffTest, RowLimitErrorsIdenticalToUnsharded) {
+  DiffFixture fx = MakeFixture({});
+  // Low enough that multi-edge graphs trip it: the sharded path must
+  // surface the same Status — code AND message — at every shard size and
+  // thread count, even though per-shard step totals trip the cumulative
+  // limit at schedule-dependent points.
+  const size_t row_limit = 40;
+  Rng rng(7);
+  std::vector<size_t> sizes = ShardSizeSweep(fx.pt_rows.size(), &rng);
+  for (int threads : {1, 4}) {
+    std::unique_ptr<WorkerPool> pool;
+    if (threads > 1) pool = std::make_unique<WorkerPool>(threads);
+    for (const auto& [label, graph] : MakeGraphFamily(fx)) {
+      AptMaterializeOptions unsharded;
+      unsharded.row_limit = row_limit;
+      Result<Apt> ref =
+          MaterializeApt(fx.pt, fx.pt_rows, graph, fx.sg, fx.db, unsharded);
+      for (size_t shard_rows : sizes) {
+        SCOPED_TRACE(label + " shard_rows=" + std::to_string(shard_rows) +
+                     " threads=" + std::to_string(threads));
+        AptMaterializeOptions options;
+        options.row_limit = row_limit;
+        options.pool = pool.get();
+        for (int rep = 0; rep < (threads > 1 ? 3 : 1); ++rep) {
+          Result<ShardedApt> got = MaterializeAptSharded(
+              fx.pt, fx.pt_rows, graph, fx.sg, fx.db, options, shard_rows);
+          ASSERT_EQ(ref.ok(), got.ok())
+              << (ref.ok() ? got.status() : ref.status()).ToString();
+          if (!ref.ok()) {
+            EXPECT_EQ(ref.status().code(), got.status().code());
+            EXPECT_EQ(ref.status().message(), got.status().message());
+          } else {
+            ExpectShardedEqualsApt(*ref, *got);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AptShardDiffTest, ShardingBoundsPeakStateBytes) {
+  // The memory contract: every resident state is a shard-range state, so
+  // the recorded high-water mark never exceeds the unsharded peak, and
+  // shrinks once the APT spans several shards.
+  DiffFixture fx = MakeFixture({});
+  auto family = MakeGraphFamily(fx);
+  const JoinGraph& graph = family[3].second;  // PT-A-B, multi-step
+  AptMaterializeOptions options;
+  AptMaterializeMetrics unsharded_metrics;
+  options.metrics = &unsharded_metrics;
+  ASSERT_TRUE(MaterializeApt(fx.pt, fx.pt_rows, graph, fx.sg, fx.db, options)
+                  .ok());
+  size_t unsharded_peak = unsharded_metrics.peak_state_bytes.load();
+  ASSERT_GT(unsharded_peak, 0u);
+
+  size_t quarter = (fx.pt_rows.size() + 3) / 4;  // >= 4 shards
+  AptMaterializeMetrics sharded_metrics;
+  options.metrics = &sharded_metrics;
+  Result<ShardedApt> got = MaterializeAptSharded(fx.pt, fx.pt_rows, graph,
+                                                 fx.sg, fx.db, options, quarter);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_GE(got->shards.size(), 4u);
+  size_t sharded_peak = sharded_metrics.peak_state_bytes.load();
+  EXPECT_GT(sharded_peak, 0u);
+  EXPECT_LT(sharded_peak, unsharded_peak);
+}
+
 // ---- Explainer-level differential ------------------------------------------
 
 void ExpectIdenticalExplanations(const ExplainResult& a,
@@ -653,6 +853,51 @@ TEST(AptDiffTest, ExplainerBitIdenticalAcrossThreadsAndCacheModes) {
                    " prefix_cache=" + (cache ? std::string("on") : "off"));
       ExplainResult result = run(threads, cache);
       ExpectIdenticalExplanations(baseline, result);
+    }
+  }
+}
+
+TEST(AptShardDiffTest, ExplainerShardedBitIdenticalAcrossThreadsAndCaches) {
+  // End-to-end invariant of the sharded pipeline: explanations are
+  // bit-identical to the unsharded path at any shard size, thread count,
+  // and prefix-cache mode. (Peak-byte counters are intentionally NOT part
+  // of the comparison — they are observability, not results, and vary with
+  // the schedule.)
+  DiffFixture fx = MakeFixture({});
+  auto query =
+      ParseQuery("SELECT g, count(*) AS n FROM fact GROUP BY g").ValueOrDie();
+  UserQuestion question = UserQuestion::TwoPoint(Where({{"g", Value("x")}}),
+                                                 Where({{"g", Value("y")}}));
+
+  auto run = [&](size_t shard_rows, int threads, bool prefix_cache) {
+    Explainer explainer(&fx.db, &fx.sg);
+    explainer.mutable_config()->apt_shard_rows = shard_rows;
+    explainer.mutable_config()->num_threads = threads;
+    explainer.mutable_config()->enable_apt_prefix_cache = prefix_cache;
+    explainer.mutable_config()->max_join_graph_edges = 2;
+    return explainer.Explain(query, question).ValueOrDie();
+  };
+
+  ExplainResult baseline = run(/*shard_rows=*/0, /*threads=*/1, false);
+  ASSERT_FALSE(baseline.explanations.empty());
+  EXPECT_GT(baseline.peak_apt_bytes, 0u);
+  // Unsharded: one "shard" per mined/attempted graph.
+  EXPECT_GT(baseline.apt_shards, 0u);
+
+  size_t quarter = (fx.pt_rows.size() + 3) / 4;
+  for (size_t shard_rows : {size_t{1}, size_t{7}, quarter}) {
+    for (int threads : {1, 4, 8}) {
+      for (bool cache : {false, true}) {
+        SCOPED_TRACE("shard_rows=" + std::to_string(shard_rows) +
+                     " threads=" + std::to_string(threads) +
+                     " prefix_cache=" + (cache ? std::string("on") : "off"));
+        ExplainResult result = run(shard_rows, threads, cache);
+        ExpectIdenticalExplanations(baseline, result);
+        // More shards than graphs, and a peak no worse than unsharded
+        // (every resident state covers a shard range, not the whole APT).
+        EXPECT_GT(result.apt_shards, baseline.apt_shards);
+        EXPECT_LE(result.peak_apt_bytes, baseline.peak_apt_bytes);
+      }
     }
   }
 }

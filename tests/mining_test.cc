@@ -13,6 +13,56 @@
 namespace cajade {
 namespace {
 
+/// Hand-splits an unsharded APT into a ShardedApt by PT-position ranges of
+/// `shard_pts` positions each. Shard tables adopt the source dictionaries so
+/// codes stay comparable across shards — the same invariant the real sharded
+/// materializer provides via CopyColumnSubset. The fixture's APT rows are in
+/// PT-position order, so shard concatenation reproduces the original rows.
+ShardedApt SplitApt(const Apt& apt, size_t shard_pts) {
+  ShardedApt sa;
+  sa.pt_rows_used = apt.pt_rows_used;
+  sa.num_pt_columns = apt.num_pt_columns;
+  sa.pattern_cols = apt.pattern_cols;
+  size_t n = apt.pt_rows_used.size();
+  for (size_t b = 0; b < n; b += shard_pts) {
+    size_t e = std::min(n, b + shard_pts);
+    AptShard shard;
+    shard.pt_begin = b;
+    shard.pt_end = e;
+    std::vector<Column> cols;
+    for (size_t c = 0; c < apt.table.num_columns(); ++c) {
+      const Column& src = apt.table.column(c);
+      Column dst(src.type());
+      if (src.type() == DataType::kString) dst.AdoptDictionary(src);
+      cols.push_back(std::move(dst));
+    }
+    size_t rows = 0;
+    for (size_t r = 0; r < apt.num_rows(); ++r) {
+      size_t p = static_cast<size_t>(apt.pt_row[r]);
+      if (p < b || p >= e) continue;
+      for (size_t c = 0; c < apt.table.num_columns(); ++c) {
+        const Column& src = apt.table.column(c);
+        if (src.IsNull(r)) {
+          cols[c].AppendNull();
+        } else if (src.type() == DataType::kString) {
+          cols[c].AppendCode(src.GetCode(r));
+        } else if (src.type() == DataType::kInt64) {
+          cols[c].AppendInt(src.GetInt(r));
+        } else {
+          cols[c].AppendDouble(src.GetDouble(r));
+        }
+      }
+      shard.pt_row.push_back(apt.pt_row[r]);
+      ++rows;
+    }
+    shard.table =
+        Table(apt.table.name(), apt.table.schema(), std::move(cols), rows);
+    sa.total_rows += rows;
+    sa.shards.push_back(std::move(shard));
+  }
+  return sa;
+}
+
 /// A small synthetic APT: 40 PT rows (first 24 class 0, rest class 1), two
 /// APT rows per PT row. Columns: cat (string), num (int64).
 struct AptFixture {
@@ -157,11 +207,71 @@ TEST(QualityTest, SampledViewShrinksCountsButKeepsBothClasses) {
   EXPECT_GT(view.n1, 0u);
   EXPECT_GT(view.n2, 0u);
   EXPECT_LT(view.n1 + view.n2, 40u);
-  // APT rows restricted to sampled PT positions.
-  for (int32_t r : view.apt_rows) {
+  // APT rows restricted to sampled PT positions (one slice: the full APT).
+  ASSERT_EQ(view.slice_rows.size(), 1u);
+  for (int32_t r : view.slice_rows.front()) {
     EXPECT_TRUE(view.pt_sampled[fx.apt.pt_row[r]]);
   }
+  // The mask mirrors the row list.
+  size_t mask_count = 0;
+  for (int32_t r : view.slice_rows.front()) {
+    EXPECT_TRUE(view.slice_masks.front().Test(static_cast<size_t>(r)));
+    ++mask_count;
+  }
+  EXPECT_EQ(view.slice_masks.front().Popcount(), mask_count);
+  EXPECT_EQ(view.sampled_rows, view.slice_rows.front().size());
 }
+
+TEST(QualityTest, SampledViewIsShardIndependent) {
+  // The PT-position sample must not depend on how the APT is sliced.
+  AptFixture fx;
+  Rng rng_a(3);
+  MetricsView whole = SampledView(fx.apt, fx.classes, 0.3, &rng_a);
+  for (size_t shard_pts : {1u, 7u, 13u, 40u, 100u}) {
+    ShardedApt sa = SplitApt(fx.apt, shard_pts);
+    Rng rng_b(3);
+    AptSliceSet ss = MakeSliceSet(sa);
+    MetricsView split = SampledView(ss, fx.classes, 0.3, &rng_b);
+    EXPECT_EQ(split.pt_sampled, whole.pt_sampled) << "shard_pts=" << shard_pts;
+    EXPECT_EQ(split.n1, whole.n1);
+    EXPECT_EQ(split.n2, whole.n2);
+    EXPECT_EQ(split.sampled_rows, whole.sampled_rows);
+    // Concatenating slice row lists (offset to global ids) reproduces the
+    // unsharded row list.
+    std::vector<int32_t> merged;
+    size_t offset = 0;
+    for (size_t si = 0; si < ss.slices.size(); ++si) {
+      for (int32_t r : split.slice_rows[si]) {
+        merged.push_back(static_cast<int32_t>(offset + r));
+      }
+      offset += ss.slices[si].num_rows();
+    }
+    EXPECT_EQ(merged, whole.slice_rows.front()) << "shard_pts=" << shard_pts;
+  }
+}
+
+TEST(CoverageTest, OrMergesShardCoverage) {
+  CoverageBitmap a(100), b(100);
+  a.Set(3);
+  a.Set(64);
+  b.Set(64);
+  b.Set(99);
+  a.Or(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_TRUE(a.Test(99));
+  EXPECT_EQ(a.Popcount(), 3u);
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(CoverageDeathTest, OrRejectsMismatchedSizes) {
+  // Merging a shard-row mask into a PT-position set is a bug the size
+  // assert must catch loudly.
+  CoverageBitmap pt_set(100);
+  CoverageBitmap shard_mask(37);
+  EXPECT_DEATH(pt_set.Or(shard_mask), "num_bits_");
+}
+#endif
 
 TEST(LcaTest, CandidatesAreEqualityMeets) {
   AptFixture fx;
@@ -187,6 +297,22 @@ TEST(LcaTest, EmptyInputsProduceNoCandidates) {
   EXPECT_TRUE(GenerateLcaCandidates(fx.apt, {}, 40, &rng).empty());
 }
 
+TEST(LcaTest, SlicedCandidatesBitIdentical) {
+  AptFixture fx;
+  Rng rng_a(5);
+  auto whole = GenerateLcaCandidates(fx.apt, {0}, 40, &rng_a);
+  for (size_t shard_pts : {1u, 7u, 13u, 40u}) {
+    ShardedApt sa = SplitApt(fx.apt, shard_pts);
+    Rng rng_b(5);
+    auto split = GenerateLcaCandidates(MakeSliceSet(sa), {0}, 40, &rng_b);
+    ASSERT_EQ(split.size(), whole.size()) << "shard_pts=" << shard_pts;
+    for (size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(split[i].pair_count, whole[i].pair_count);
+      EXPECT_EQ(split[i].pattern.Key(), whole[i].pattern.Key());
+    }
+  }
+}
+
 TEST(MinerTest, FindsDiscriminativePattern) {
   AptFixture fx;
   CajadeConfig config;
@@ -203,6 +329,50 @@ TEST(MinerTest, FindsDiscriminativePattern) {
     EXPECT_LE(mp.support_primary, mp.total_primary);
     EXPECT_LE(mp.support_other, mp.total_other);
     EXPECT_EQ(mp.total_primary + mp.total_other, 40);
+  }
+}
+
+TEST(MinerTest, ShardedMineBitIdentical) {
+  // The shard-native miner must reproduce the unsharded result exactly —
+  // same patterns, same order, same scores, same counters — at any shard
+  // size, including sampled (f1_sample_rate < 1) configurations.
+  AptFixture fx;
+  for (double sample_rate : {1.0, 0.5}) {
+    CajadeConfig config;
+    config.sel_attr = 1.0;
+    config.f1_sample_rate = sample_rate;
+    PatternMiner miner(&config, nullptr);
+    Rng rng(7);
+    MineResult whole = miner.Mine(fx.apt, fx.classes, &rng).ValueOrDie();
+    for (size_t shard_pts : {1u, 7u, 13u, 40u, 100u}) {
+      ShardedApt sa = SplitApt(fx.apt, shard_pts);
+      Rng rng2(7);
+      MineResult split = miner.Mine(sa, fx.classes, &rng2).ValueOrDie();
+      SCOPED_TRACE("shard_pts=" + std::to_string(shard_pts) +
+                   " rate=" + std::to_string(sample_rate));
+      EXPECT_EQ(split.apt_rows, whole.apt_rows);
+      EXPECT_EQ(split.num_attributes, whole.num_attributes);
+      EXPECT_EQ(split.selected_attributes, whole.selected_attributes);
+      EXPECT_EQ(split.lca_candidates, whole.lca_candidates);
+      EXPECT_EQ(split.patterns_evaluated, whole.patterns_evaluated);
+      EXPECT_EQ(split.budget_exhausted, whole.budget_exhausted);
+      ASSERT_EQ(split.top_k.size(), whole.top_k.size());
+      for (size_t i = 0; i < whole.top_k.size(); ++i) {
+        const MinedPattern& w = whole.top_k[i];
+        const MinedPattern& s = split.top_k[i];
+        EXPECT_EQ(s.pattern.Key(), w.pattern.Key());
+        EXPECT_EQ(s.primary, w.primary);
+        EXPECT_EQ(s.scores.tp, w.scores.tp);
+        EXPECT_EQ(s.scores.fp, w.scores.fp);
+        EXPECT_EQ(s.exact.tp, w.exact.tp);
+        EXPECT_EQ(s.exact.fp, w.exact.fp);
+        EXPECT_DOUBLE_EQ(s.exact.fscore, w.exact.fscore);
+        EXPECT_EQ(s.support_primary, w.support_primary);
+        EXPECT_EQ(s.total_primary, w.total_primary);
+        EXPECT_EQ(s.support_other, w.support_other);
+        EXPECT_EQ(s.total_other, w.total_other);
+      }
+    }
   }
 }
 

@@ -234,6 +234,40 @@ TEST_F(ServeTest, ConcurrentClientsShareCachesAndPool) {
       *server.Explain(kQ1, SinglePointQuestion()).ValueOrDie());
 }
 
+TEST_F(ServeTest, ShardedServingMatchesUnshardedAndReportsCounters) {
+  // The apt_shard_rows knob is perf/memory-only: results are bit-identical,
+  // so it is deliberately absent from the result-cache config hash, and the
+  // counters expose what changed instead — shard counts and the peak
+  // resident APT bytes the shard bound caps.
+  ExplainServer unsharded(&db_, &schema_graph_, BaseOptions());
+  auto expected = unsharded.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  auto base_counters = unsharded.counters();
+  EXPECT_GT(base_counters.peak_apt_bytes, 0u);
+  EXPECT_GT(base_counters.apt_shards, 0u);
+
+  ExplainServer::Options options = BaseOptions();
+  options.config.apt_shard_rows = 4;
+  ExplainServer server(&db_, &schema_graph_, options);
+  auto result = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  ExpectSameExplanations(*expected, *result);
+
+  auto c = server.counters();
+  // More shards than the unsharded path's one-per-graph, and a peak no
+  // worse than unsharded (each resident state spans one shard range).
+  EXPECT_GT(c.apt_shards, base_counters.apt_shards);
+  EXPECT_GT(c.peak_apt_bytes, 0u);
+  EXPECT_LE(c.peak_apt_bytes, base_counters.peak_apt_bytes);
+  EXPECT_GT(c.prefix_peak_bytes + c.index_peak_bytes, 0u);
+
+  // A result-cache hit materializes nothing: the metric counters must not
+  // move.
+  auto again = server.Explain(kQ1, TwoPointQuestion()).ValueOrDie();
+  EXPECT_EQ(again.get(), result.get());
+  auto c2 = server.counters();
+  EXPECT_EQ(c2.apt_shards, c.apt_shards);
+  EXPECT_EQ(c2.peak_apt_bytes, c.peak_apt_bytes);
+}
+
 // Pins the lease pool's FIFO grant order. With one Explainer held and each
 // waiter provably queued (WaiterCount) before the next thread starts, the
 // enqueue order is exact — so the grant order must match it, every run.

@@ -21,6 +21,12 @@ Three checks, each meant to stop a specific silent-rot failure mode:
    mentioning "thread"), the documentation contract established for kernel
    headers in the serving-layer PR and extended repo-wide here.
 
+4. config-knobs — every field of CajadeConfig (src/core/config.h) must
+   appear backticked in docs/SERVING.md's engine-knobs tables. A knob added
+   without a documented default and meaning is invisible to operators; this
+   bit the sharded-APT work (`apt_shard_rows` gates a whole pipeline), so
+   the contract is enforced for all knobs.
+
 Usage:
   python3 tools/lint_contracts.py [root]     lint the tree (root defaults to
                                              the repo containing this script)
@@ -229,10 +235,45 @@ def check_header_contracts(root):
     return errors
 
 
+CONFIG_HEADER = os.path.join("src", "core", "config.h")
+KNOBS_DOC = os.path.join("docs", "SERVING.md")
+
+# A CajadeConfig field declaration: built-in scalar type, snake_case name,
+# initializer. The declared types are deliberately enumerated — locals in
+# helper functions (char*, unsigned long long) stay out of scope.
+CONFIG_FIELD = re.compile(
+    r"^\s*(?:int|double|bool|size_t|uint64_t)\s+([a-z][a-z0-9_]*)\s*=",
+    re.MULTILINE)
+
+
+def check_config_knobs(root):
+    """Every CajadeConfig field has a backticked row in SERVING.md."""
+    config = os.path.join(root, CONFIG_HEADER)
+    if not os.path.exists(config):
+        return []  # partial tree (e.g. self-test fixtures without an engine)
+    with open(config, encoding="utf-8") as f:
+        fields = CONFIG_FIELD.findall(strip_comments_and_strings(f.read()))
+    doc_path = os.path.join(root, KNOBS_DOC)
+    if not os.path.exists(doc_path):
+        return [f"{KNOBS_DOC}: missing, but {CONFIG_HEADER} declares "
+                f"{len(fields)} engine knobs that must be documented there"]
+    with open(doc_path, encoding="utf-8") as f:
+        doc = f.read()
+    errors = []
+    for name in fields:
+        if f"`{name}`" not in doc:
+            errors.append(
+                f"{CONFIG_HEADER}: config knob '{name}' has no backticked "
+                f"entry in {KNOBS_DOC} — add it to the engine-knobs tables "
+                f"(default + meaning)")
+    return errors
+
+
 CHECKS = [
     ("naked-primitives", check_naked_primitives),
     ("bench-names", check_bench_names),
     ("header-contracts", check_header_contracts),
+    ("config-knobs", check_config_knobs),
 ]
 
 
@@ -283,6 +324,29 @@ env:
 
 CLEAN_JSON = '{"benchmarks": [{"name": "BM_Widget/10"}]}\n'
 
+CLEAN_CONFIG = """\
+// Engine knobs.
+//
+// Ownership and thread-safety: plain value struct, copy per thread.
+#ifndef MINI_SRC_CORE_CONFIG_H_
+#define MINI_SRC_CORE_CONFIG_H_
+struct MiniConfig {
+  int widget_count = 3;
+  // double retired_knob = 0.5;  // commented out: must not require a row
+  size_t shard_rows = 0;
+};
+#endif
+"""
+
+CLEAN_SERVING = """\
+# Serving
+
+| Knob | Default | Meaning |
+| --- | --- | --- |
+| `widget_count` | 3 | widgets per request |
+| `shard_rows` | 0 | rows per shard (0 = unsharded) |
+"""
+
 
 def write_fixture(root, rel, content):
     path = os.path.join(root, rel)
@@ -297,6 +361,8 @@ def make_clean_tree(root):
     write_fixture(root, os.path.join(".github", "workflows", "ci.yml"),
                   CLEAN_CI)
     write_fixture(root, "BENCH_widget.json", CLEAN_JSON)
+    write_fixture(root, CONFIG_HEADER, CLEAN_CONFIG)
+    write_fixture(root, KNOBS_DOC, CLEAN_SERVING)
 
 
 def self_test():
@@ -347,6 +413,26 @@ def self_test():
              root, os.path.join("src", "bare.h"),
              "#ifndef MINI_SRC_BARE_H_\n#define MINI_SRC_BARE_H_\n"
              "struct Bare {};\n#endif\n"),
+         True)
+    case("undocumented config knob caught",
+         lambda root: write_fixture(
+             root, CONFIG_HEADER,
+             CLEAN_CONFIG.replace("  size_t shard_rows = 0;",
+                                  "  size_t shard_rows = 0;\n"
+                                  "  bool ghost_knob = true;")),
+         True)
+    case("knob named in prose without backticks still caught",
+         lambda root: write_fixture(
+             root, KNOBS_DOC,
+             CLEAN_SERVING + "\nshard_extra is tuned automatically.\n") or
+         write_fixture(
+             root, CONFIG_HEADER,
+             CLEAN_CONFIG.replace("  size_t shard_rows = 0;",
+                                  "  size_t shard_rows = 0;\n"
+                                  "  int shard_extra = 1;")),
+         True)
+    case("missing knobs doc caught when config exists",
+         lambda root: os.remove(os.path.join(root, KNOBS_DOC)),
          True)
 
     misses = 0
